@@ -1,0 +1,225 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable2            benchmark characteristics (Table 2)
+//	BenchmarkFigure4..9        per-benchmark improvements, six machines
+//	BenchmarkTable3            average improvements, both mechanisms
+//	BenchmarkPhaseAblation     frozen- vs learning-while-off MAT tables
+//	BenchmarkThresholdSweep    region-detection threshold sensitivity
+//	BenchmarkVictimScenario    Section 5.2's two-loop victim-cache story
+//	BenchmarkAblation*         design-decision ablations (DESIGN.md §6)
+//
+// Each experiment benchmark prints its table once, so the benchmark log
+// doubles as the reproduction report. Absolute wall-clock numbers measure
+// the simulator, not the simulated machine.
+package selcache_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"selcache"
+	"selcache/internal/core"
+	"selcache/internal/experiments"
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+	"selcache/internal/report"
+	"selcache/internal/sim"
+	"selcache/internal/workloads"
+)
+
+var printOnce sync.Map
+
+func once(key string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		f()
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		once("table2", func() { report.WriteTable2(os.Stdout, rows) })
+	}
+}
+
+func benchFigure(b *testing.B, f experiments.FigureID) {
+	for i := 0; i < b.N; i++ {
+		sw := experiments.RunFigure(f)
+		once(f.Name(), func() {
+			report.WriteFigure(os.Stdout, f.Name(), sw)
+			if f == experiments.Figure4 {
+				report.WriteClassAverages(os.Stdout, sw)
+			}
+		})
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, experiments.Figure4) }
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, experiments.Figure5) }
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, experiments.Figure6) }
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, experiments.Figure7) }
+func BenchmarkFigure8(b *testing.B) { benchFigure(b, experiments.Figure8) }
+func BenchmarkFigure9(b *testing.B) { benchFigure(b, experiments.Figure9) }
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3()
+		once("table3", func() { report.WriteTable3(os.Stdout, rows) })
+	}
+}
+
+// ablationSubset keeps the ablation benchmarks affordable: one benchmark
+// per class.
+func ablationSubset() []workloads.Workload {
+	var out []workloads.Workload
+	for _, n := range []string{"vpenta", "compress", "tpc-d.q3"} {
+		w, _ := workloads.ByName(n)
+		out = append(out, w)
+	}
+	return out
+}
+
+func printAblation(name string, rows []experiments.AblationRow) {
+	fmt.Printf("Ablation %s (selective improvement %%, default vs ablated):\n", name)
+	for _, r := range rows {
+		fmt.Printf("  %-10s %7.2f -> %7.2f\n", r.Benchmark, r.Default, r.Ablated)
+	}
+}
+
+func BenchmarkPhaseAblation(b *testing.B) {
+	// Decision 2: frozen MAT/SLDT tables while deactivated (the paper's
+	// "we simply ignore the mechanism") versus learning while off.
+	for i := 0; i < b.N; i++ {
+		rows := experiments.FrozenTables(ablationSubset())
+		once("frozen", func() { printAblation("frozen-tables", rows) })
+	}
+}
+
+func BenchmarkAblationMarkerElimination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.MarkerElimination(ablationSubset())
+		once("markers", func() { printAblation("marker-elimination", rows) })
+	}
+}
+
+func BenchmarkAblationPropagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Propagation(ablationSubset())
+		once("propagation", func() { printAblation("innermost-out propagation", rows) })
+	}
+}
+
+func BenchmarkAblationBypassPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.BypassPolicy(ablationSubset())
+		once("bypass-policy", func() { printAblation("cold-ceiling bypass policy", rows) })
+	}
+}
+
+func BenchmarkAblationBlockingMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.BlockingMemory(ablationSubset())
+		once("blocking", func() { printAblation("blocking memory model", rows) })
+	}
+}
+
+func BenchmarkThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ThresholdSweep([]float64{0.1, 0.5, 0.9}, ablationSubset())
+		once("threshold", func() {
+			fmt.Println("Region-detection threshold sweep (avg selective improvement %):")
+			for _, r := range rows {
+				fmt.Printf("  threshold %.1f: %6.2f%%  (markers executed: %d)\n",
+					r.Threshold, r.AvgImprovement, r.Markers)
+			}
+		})
+	}
+}
+
+func BenchmarkVictimScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.VictimScenario()
+		once("victimscenario", func() {
+			fmt.Printf("Victim scenario (Section 5.2): combined %d cycles / %d victim hits, selective %d cycles / %d victim hits\n",
+				r.CombinedCycles, r.CombinedVictimHits, r.SelectiveCycles, r.SelectiveVictimHits)
+		})
+	}
+}
+
+// Micro-benchmarks of the simulator itself.
+
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	m := sim.NewMachine(sim.Base(), sim.Options{Mechanism: sim.HWBypass, InitiallyOn: true})
+	x := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		m.Access(mem.Addr(x>>40), 8, i&7 == 0)
+	}
+}
+
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	w, _ := selcache.BenchmarkByName("swim")
+	prog := w.Build()
+	var c countEmitter
+	loopir.Run(prog, &c) // count events once
+	events := int(c.n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink countEmitter
+		loopir.Run(prog, &sink)
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+type countEmitter struct{ n uint64 }
+
+func (c *countEmitter) Access(_ mem.Addr, _ uint8, _ bool) { c.n++ }
+func (c *countEmitter) Compute(n int)                      { c.n += uint64(n) }
+func (c *countEmitter) Marker(bool)                        { c.n++ }
+
+func BenchmarkSelectivePipeline(b *testing.B) {
+	// Full pipeline cost for one mixed benchmark: detection, compilation
+	// and simulation.
+	w, _ := selcache.BenchmarkByName("tpc-d.q6")
+	o := core.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Run(w.Build, core.Selective, o)
+	}
+}
+
+func BenchmarkAblationCompilerPasses(b *testing.B) {
+	// Per-pass contribution of the Section 3.2 compiler optimizations on
+	// the regular benchmarks.
+	for i := 0; i < b.N; i++ {
+		rows := experiments.CompilerPasses(nil)
+		once("compiler-passes", func() {
+			fmt.Println("Compiler-pass ablation (pure-software improvement %):")
+			fmt.Printf("  %-10s %8s %8s %9s %9s %10s\n",
+				"benchmark", "full", "no-ic", "no-layout", "no-tile", "no-unroll")
+			for _, r := range rows {
+				fmt.Printf("  %-10s %8.2f %8.2f %9.2f %9.2f %10.2f\n",
+					r.Benchmark, r.Full, r.NoIC, r.NoLayout, r.NoTiling, r.NoUnrollSR)
+			}
+		})
+	}
+}
+
+func BenchmarkMATDesignSweep(b *testing.B) {
+	// Hardware design space around the paper's MAT/buffer configuration,
+	// averaged over the irregular benchmarks.
+	for i := 0; i < b.N; i++ {
+		rows := experiments.MATDesignSweep(nil)
+		once("mat-design", func() {
+			fmt.Println("Bypass-mechanism design sweep (avg improvement %, irregular codes):")
+			for _, r := range rows {
+				fmt.Printf("  %-28s purehw=%6.2f selective=%6.2f\n", r.Label, r.PureHW, r.Selective)
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+// Command cachesim runs one benchmark through one simulated version and
+// prints the measured statistics.
+//
+// Usage:
+//
+//	cachesim -bench swim -version selective -config base -mech bypass
+//	cachesim -bench all -version all
+//	cachesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selcache/internal/core"
+	"selcache/internal/sim"
+	"selcache/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "swim", "benchmark name, or 'all'")
+		version   = flag.String("version", "all", "base|pure-hardware|pure-software|combined|selective|all")
+		configSel = flag.String("config", "base", "base|higher-mem-lat|larger-l2|larger-l1|higher-l2-assoc|higher-l1-assoc")
+		mech      = flag.String("mech", "bypass", "bypass|victim")
+		classify  = flag.Bool("classify", false, "attribute misses to conflict/capacity/compulsory")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-10s %-9s %s\n", w.Name, w.Class, w.Models)
+		}
+		return
+	}
+
+	cfg, ok := configByName(*configSel)
+	if !ok {
+		fatalf("unknown config %q", *configSel)
+	}
+	o := core.DefaultOptions()
+	o.Machine = cfg
+	o.Classify = *classify
+	switch *mech {
+	case "bypass":
+		o.Mechanism = sim.HWBypass
+	case "victim":
+		o.Mechanism = sim.HWVictim
+	default:
+		fatalf("unknown mechanism %q", *mech)
+	}
+
+	var benches []workloads.Workload
+	if *benchName == "all" {
+		benches = workloads.All()
+	} else {
+		w, ok := workloads.ByName(*benchName)
+		if !ok {
+			fatalf("unknown benchmark %q (try -list)", *benchName)
+		}
+		benches = []workloads.Workload{w}
+	}
+
+	for _, w := range benches {
+		var base core.Result
+		for _, v := range core.Versions() {
+			if !versionSelected(*version, v) && v != core.Base {
+				continue
+			}
+			res := core.Run(w.Build, v, o)
+			if v == core.Base {
+				base = res
+			}
+			if !versionSelected(*version, v) {
+				continue
+			}
+			printResult(w, res, base)
+		}
+	}
+}
+
+func versionSelected(sel string, v core.Version) bool {
+	return sel == "all" || sel == v.String()
+}
+
+func configByName(name string) (sim.Config, bool) {
+	for _, c := range sim.ExperimentConfigs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return sim.Config{}, false
+}
+
+func printResult(w workloads.Workload, r, base core.Result) {
+	s := r.Sim
+	fmt.Printf("%-10s %-14s cycles=%-12d instr=%-11d mem=%-10d L1miss=%5.2f%% L2miss=%5.2f%%",
+		w.Name, r.Version, s.Cycles, s.Instructions, s.MemOps,
+		100*s.L1.MissRate(), 100*s.L2.MissRate())
+	if r.Version != core.Base && base.Sim.Cycles > 0 {
+		fmt.Printf(" improv=%6.2f%%", core.Improvement(base, r))
+	}
+	if s.Markers > 0 {
+		fmt.Printf(" markers=%d", s.Markers)
+	}
+	if s.Bypasses > 0 {
+		fmt.Printf(" bypass=%d bufHit=%d", s.Bypasses, s.Buffer.Hits)
+	}
+	if s.Victim1.Probes > 0 {
+		fmt.Printf(" vc1hit=%d vc2hit=%d", s.Victim1.Hits, s.Victim2.Hits)
+	}
+	if r.Version == core.Selective {
+		fmt.Printf(" [regions hw=%d sw=%d mixed=%d markers ins=%d elim=%d]",
+			r.Regions.HardwareLoops, r.Regions.SoftwareLoops, r.Regions.MixedLoops,
+			r.Regions.Inserted, r.Regions.Eliminated)
+	}
+	if r.Opt.NestsOptimized > 0 {
+		fmt.Printf(" [opt ic=%d layout=%d tile=%d uj=%d sr=%d]",
+			r.Opt.Interchanged, r.Opt.LayoutsChanged, r.Opt.Tiled, r.Opt.Unrolled, r.Opt.RefsPromoted)
+	}
+	fmt.Println()
+	if s.L1Class.Total() > 0 {
+		fmt.Printf("           L1 misses: conflict=%d capacity=%d compulsory=%d\n",
+			s.L1Class.Conflict, s.L1Class.Capacity, s.L1Class.Compulsory)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cachesim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	experiments -run table2     # benchmark characteristics
+//	experiments -run figures    # Figures 4-9 (cache bypassing)
+//	experiments -run table3     # average improvements, both mechanisms
+//	experiments -run all        # everything (the default)
+//
+// Output goes to stdout; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selcache/internal/experiments"
+	"selcache/internal/report"
+)
+
+func main() {
+	run := flag.String("run", "all", "table2|figures|table3|all")
+	flag.Parse()
+
+	doTable2 := *run == "all" || *run == "table2"
+	doFigures := *run == "all" || *run == "figures"
+	doTable3 := *run == "all" || *run == "table3"
+	if !doTable2 && !doFigures && !doTable3 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -run %q\n", *run)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if doTable2 {
+		report.WriteTable2(w, experiments.Table2())
+	}
+	if doFigures {
+		for _, f := range experiments.Figures() {
+			sw := experiments.RunFigure(f)
+			report.WriteFigure(w, f.Name(), sw)
+			if f == experiments.Figure4 {
+				report.WriteClassAverages(w, sw)
+			}
+		}
+	}
+	if doTable3 {
+		report.WriteTable3(w, experiments.Table3())
+	}
+}

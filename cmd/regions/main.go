@@ -1,0 +1,81 @@
+// Command regions runs the paper's region-detection algorithm (Section 2)
+// over a benchmark's base program and reports the resulting partition:
+// which loops the compiler will optimize, which are left to the hardware
+// mechanism, and where the activate/deactivate instructions land.
+//
+//	regions -bench chaos            # summary
+//	regions -bench chaos -dump      # annotated program structure
+//	regions -bench chaos -threshold 0.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selcache/internal/loopir"
+	"selcache/internal/regions"
+	"selcache/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "chaos", "benchmark name")
+		threshold = flag.Float64("threshold", 0.5, "analyzable-reference ratio threshold")
+		noProp    = flag.Bool("no-propagate", false, "disable innermost-out propagation")
+		noElim    = flag.Bool("no-eliminate", false, "keep redundant ON/OFF instructions")
+		dump      = flag.Bool("dump", false, "print the annotated program structure")
+	)
+	flag.Parse()
+
+	w, ok := workloads.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "regions: unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+	prog := w.Build()
+	cfg := regions.Config{
+		Threshold: *threshold,
+		Propagate: !*noProp,
+		Eliminate: !*noElim,
+	}
+	st := regions.Detect(prog, cfg)
+
+	fmt.Printf("benchmark %s (%s)\n", w.Name, w.Class)
+	fmt.Printf("static references: %d analyzable / %d total (ratio %.2f)\n",
+		st.AnalyzableRefs, st.TotalRefs,
+		float64(st.AnalyzableRefs)/float64(max(1, st.TotalRefs)))
+	fmt.Printf("loops: %d software, %d hardware, %d mixed\n",
+		st.SoftwareLoops, st.HardwareLoops, st.MixedLoops)
+	fmt.Printf("markers: %d inserted, %d eliminated as redundant, %d remain\n",
+		st.Inserted, st.Eliminated, regions.MarkerCount(prog))
+
+	if *dump {
+		fmt.Println()
+		fmt.Print(prog.String())
+	} else {
+		// Per-loop one-liner for the top two nesting levels.
+		fmt.Println("\ntop-level regions:")
+		for _, n := range prog.Body {
+			switch n := n.(type) {
+			case *loopir.Loop:
+				fmt.Printf("  for %-8s %-9s (ratio %.2f)\n", n.Var, n.Pref, regions.LoopRatio(n))
+			case *loopir.Marker:
+				state := "OFF"
+				if n.On {
+					state = "ON"
+				}
+				fmt.Printf("  @%s\n", state)
+			case *loopir.Stmt:
+				fmt.Printf("  stmt %s\n", n.Name)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

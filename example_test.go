@@ -1,0 +1,47 @@
+package selcache_test
+
+import (
+	"fmt"
+
+	"selcache"
+)
+
+// ExampleRun demonstrates the basic flow: run the base machine and the
+// selective scheme on one benchmark and compare.
+func ExampleRun() {
+	w, _ := selcache.BenchmarkByName("vpenta")
+	opts := selcache.DefaultOptions()
+
+	base := selcache.Run(w.Build, selcache.Base, opts)
+	sel := selcache.Run(w.Build, selcache.Selective, opts)
+
+	fmt.Printf("vpenta: selective is %.0f%% faster than base\n",
+		selcache.Improvement(base, sel))
+	// Output: vpenta: selective is 57% faster than base
+}
+
+// ExampleBenchmarks lists the paper's benchmark suite.
+func ExampleBenchmarks() {
+	for _, w := range selcache.Benchmarks()[:3] {
+		fmt.Printf("%s (%s)\n", w.Name, w.Class)
+	}
+	// Output:
+	// perl (irregular)
+	// compress (irregular)
+	// li (irregular)
+}
+
+// ExampleRunAll walks one benchmark through all four schemes plus base.
+func ExampleRunAll() {
+	w, _ := selcache.BenchmarkByName("adi")
+	results := selcache.RunAll(w.Build, selcache.DefaultOptions())
+	base := results[0]
+	for _, r := range results[1:] {
+		fmt.Printf("%s beats base: %v\n", r.Version, selcache.Improvement(base, r) > 10)
+	}
+	// Output:
+	// pure-hardware beats base: false
+	// pure-software beats base: true
+	// combined beats base: true
+	// selective beats base: true
+}

@@ -1,0 +1,53 @@
+// Quickstart: run one benchmark through the paper's four schemes and print
+// the improvement of each over the base machine.
+//
+//	go run ./examples/quickstart [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"selcache"
+)
+
+func main() {
+	name := "swim"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := selcache.BenchmarkByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; available:\n", name)
+		for _, b := range selcache.Benchmarks() {
+			fmt.Fprintf(os.Stderr, "  %-10s (%s) %s\n", b.Name, b.Class, b.Models)
+		}
+		os.Exit(1)
+	}
+
+	opts := selcache.DefaultOptions()
+	fmt.Printf("benchmark %s (%s): %s\n", w.Name, w.Class, w.Models)
+	fmt.Printf("machine: %s, mechanism: %s\n\n", opts.Machine.Name, opts.Mechanism)
+
+	results := selcache.RunAll(w.Build, opts)
+	base := results[0]
+	fmt.Printf("%-14s %14s %9s %10s\n", "version", "cycles", "L1 miss", "improv")
+	for _, r := range results {
+		fmt.Printf("%-14s %14d %8.2f%% %9.2f%%\n",
+			r.Version, r.Sim.Cycles, 100*r.Sim.L1.MissRate(), selcache.Improvement(base, r))
+	}
+
+	sel := results[4]
+	if sel.Regions.Inserted > 0 {
+		fmt.Printf("\nregion detection: %d hardware, %d software, %d mixed loops; "+
+			"%d ON/OFF instructions inserted, %d eliminated as redundant\n",
+			sel.Regions.HardwareLoops, sel.Regions.SoftwareLoops, sel.Regions.MixedLoops,
+			sel.Regions.Inserted, sel.Regions.Eliminated)
+	}
+	if sel.Opt.NestsOptimized > 0 {
+		fmt.Printf("compiler: %d nests optimized (%d interchanged, %d layouts changed, "+
+			"%d tiled, %d unrolled, %d references promoted to registers)\n",
+			sel.Opt.NestsOptimized, sel.Opt.Interchanged, sel.Opt.LayoutsChanged,
+			sel.Opt.Tiled, sel.Opt.Unrolled, sel.Opt.RefsPromoted)
+	}
+}

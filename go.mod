@@ -1,0 +1,3 @@
+module selcache
+
+go 1.22

@@ -1,0 +1,101 @@
+package cache
+
+import "selcache/internal/mem"
+
+// MissKind labels the cause of a cache miss.
+type MissKind int
+
+const (
+	// MissNone means the access hit.
+	MissNone MissKind = iota
+	// MissCompulsory is the first-ever reference to the block.
+	MissCompulsory
+	// MissCapacity would also have missed in a fully-associative cache
+	// of the same capacity.
+	MissCapacity
+	// MissConflict hits in the same-capacity fully-associative shadow,
+	// so only limited associativity caused it.
+	MissConflict
+)
+
+// String returns the kind name.
+func (k MissKind) String() string {
+	switch k {
+	case MissNone:
+		return "hit"
+	case MissCompulsory:
+		return "compulsory"
+	case MissCapacity:
+		return "capacity"
+	case MissConflict:
+		return "conflict"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyStats are the classifier's counters. The invariant
+// Compulsory+Capacity+Conflict == misses observed is enforced by tests.
+type ClassifyStats struct {
+	Compulsory uint64
+	Capacity   uint64
+	Conflict   uint64
+}
+
+// Total returns the classified miss count.
+func (s ClassifyStats) Total() uint64 { return s.Compulsory + s.Capacity + s.Conflict }
+
+// Classifier attributes each miss of a set-associative cache to compulsory,
+// capacity or conflict causes using the standard shadow technique: a
+// fully-associative LRU cache of identical capacity and block size observes
+// the same reference stream; a miss that hits in the shadow is a conflict
+// miss, a repeat block that also misses the shadow is a capacity miss, and a
+// never-seen block is compulsory.
+type Classifier struct {
+	shadow    *FA
+	blockBits uint
+	seen      map[uint64]struct{}
+	// Stats accumulates the per-kind counts.
+	Stats ClassifyStats
+}
+
+// NewClassifier builds a classifier for a cache with the given geometry.
+func NewClassifier(cfg Config) *Classifier {
+	bits := uint(0)
+	for 1<<bits < cfg.Block {
+		bits++
+	}
+	return &Classifier{
+		shadow:    NewFA(cfg.Lines()),
+		blockBits: bits,
+		seen:      make(map[uint64]struct{}, 1<<16),
+	}
+}
+
+// Observe records one access to the monitored cache and, when miss is true,
+// classifies and returns the miss kind. It must be called for every access
+// (hits keep the shadow's recency state honest).
+func (c *Classifier) Observe(a mem.Addr, miss bool) MissKind {
+	block := uint64(a) >> c.blockBits
+	_, inShadow := c.shadow.Probe(block, false)
+	kind := MissNone
+	if miss {
+		_, seen := c.seen[block]
+		switch {
+		case !seen:
+			kind = MissCompulsory
+			c.Stats.Compulsory++
+		case inShadow:
+			kind = MissConflict
+			c.Stats.Conflict++
+		default:
+			kind = MissCapacity
+			c.Stats.Capacity++
+		}
+	}
+	if !inShadow {
+		c.shadow.Insert(block, false)
+	}
+	c.seen[block] = struct{}{}
+	return kind
+}

@@ -1,0 +1,145 @@
+package cache
+
+// FA is a small fully-associative LRU store over uint64 keys with a boolean
+// (dirty) payload. It backs both the victim caches and the bypass buffer.
+//
+// The implementation is an intrusive doubly-linked list over a fixed slab
+// plus a key index, so every operation is O(1) and steady-state operation
+// performs no allocation.
+type FA struct {
+	capacity int
+	entries  []faEntry
+	index    map[uint64]int32
+	head     int32 // most recently used
+	tail     int32 // least recently used
+	free     []int32
+}
+
+type faEntry struct {
+	key        uint64
+	dirty      bool
+	prev, next int32
+}
+
+const faNil int32 = -1
+
+// NewFA returns an empty store with the given capacity (> 0).
+func NewFA(capacity int) *FA {
+	if capacity <= 0 {
+		panic("cache: FA capacity must be positive")
+	}
+	f := &FA{
+		capacity: capacity,
+		entries:  make([]faEntry, capacity),
+		index:    make(map[uint64]int32, capacity),
+		head:     faNil,
+		tail:     faNil,
+		free:     make([]int32, 0, capacity),
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		f.free = append(f.free, int32(i))
+	}
+	return f
+}
+
+// Len returns the number of resident entries.
+func (f *FA) Len() int { return len(f.index) }
+
+// Capacity returns the configured capacity.
+func (f *FA) Capacity() int { return f.capacity }
+
+func (f *FA) unlink(i int32) {
+	e := &f.entries[i]
+	if e.prev != faNil {
+		f.entries[e.prev].next = e.next
+	} else {
+		f.head = e.next
+	}
+	if e.next != faNil {
+		f.entries[e.next].prev = e.prev
+	} else {
+		f.tail = e.prev
+	}
+}
+
+func (f *FA) pushFront(i int32) {
+	e := &f.entries[i]
+	e.prev = faNil
+	e.next = f.head
+	if f.head != faNil {
+		f.entries[f.head].prev = i
+	}
+	f.head = i
+	if f.tail == faNil {
+		f.tail = i
+	}
+}
+
+// Probe looks up key; on a hit it refreshes recency, ORs dirty into the
+// stored payload, and returns the (updated) payload.
+func (f *FA) Probe(key uint64, dirty bool) (wasDirty, hit bool) {
+	i, ok := f.index[key]
+	if !ok {
+		return false, false
+	}
+	f.entries[i].dirty = f.entries[i].dirty || dirty
+	f.unlink(i)
+	f.pushFront(i)
+	return f.entries[i].dirty, true
+}
+
+// Contains reports residency without touching recency.
+func (f *FA) Contains(key uint64) bool {
+	_, ok := f.index[key]
+	return ok
+}
+
+// Take removes key if present, returning its dirty payload.
+func (f *FA) Take(key uint64) (dirty, ok bool) {
+	i, present := f.index[key]
+	if !present {
+		return false, false
+	}
+	dirty = f.entries[i].dirty
+	f.unlink(i)
+	delete(f.index, key)
+	f.free = append(f.free, i)
+	return dirty, true
+}
+
+// Insert installs key as most-recently-used, evicting the LRU entry if the
+// store is full. The evicted key and payload are returned. Inserting a
+// resident key refreshes it.
+func (f *FA) Insert(key uint64, dirty bool) (evictedKey uint64, evictedDirty, evicted bool) {
+	if i, ok := f.index[key]; ok {
+		f.entries[i].dirty = f.entries[i].dirty || dirty
+		f.unlink(i)
+		f.pushFront(i)
+		return 0, false, false
+	}
+	if len(f.free) == 0 {
+		lru := f.tail
+		evictedKey = f.entries[lru].key
+		evictedDirty = f.entries[lru].dirty
+		evicted = true
+		f.unlink(lru)
+		delete(f.index, evictedKey)
+		f.free = append(f.free, lru)
+	}
+	i := f.free[len(f.free)-1]
+	f.free = f.free[:len(f.free)-1]
+	f.entries[i] = faEntry{key: key, dirty: dirty, prev: faNil, next: faNil}
+	f.index[key] = i
+	f.pushFront(i)
+	return evictedKey, evictedDirty, evicted
+}
+
+// Keys returns the resident keys from most- to least-recently used
+// (test/diagnostic helper).
+func (f *FA) Keys() []uint64 {
+	out := make([]uint64, 0, len(f.index))
+	for i := f.head; i != faNil; i = f.entries[i].next {
+		out = append(out, f.entries[i].key)
+	}
+	return out
+}

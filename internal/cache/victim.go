@@ -1,0 +1,59 @@
+package cache
+
+import "selcache/internal/mem"
+
+// VictimStats counts victim-cache activity.
+type VictimStats struct {
+	Probes  uint64
+	Hits    uint64
+	Inserts uint64
+}
+
+// Victim is a small fully-associative victim cache (Jouppi). Blocks evicted
+// from the primary cache are inserted; primary misses probe it, and a hit
+// transfers the block back to the primary cache (the simulator performs the
+// swap, charging the small swap latency).
+type Victim struct {
+	fa        *FA
+	blockBits uint
+	// Stats accumulates probe/hit/insert counters.
+	Stats VictimStats
+}
+
+// NewVictim builds a victim cache with the given number of entries holding
+// blocks of blockSize bytes (power of two).
+func NewVictim(entries, blockSize int) *Victim {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		panic("cache: victim block size must be a positive power of two")
+	}
+	bits := uint(0)
+	for 1<<bits < blockSize {
+		bits++
+	}
+	return &Victim{fa: NewFA(entries), blockBits: bits}
+}
+
+// Probe looks up the block containing a. On a hit the block is removed
+// (it moves back into the primary cache) and its dirty bit returned.
+func (v *Victim) Probe(a mem.Addr) (dirty, hit bool) {
+	v.Stats.Probes++
+	dirty, hit = v.fa.Take(uint64(a) >> v.blockBits)
+	if hit {
+		v.Stats.Hits++
+	}
+	return dirty, hit
+}
+
+// Insert stores an evicted block. If the victim cache itself evicts a dirty
+// block, that block must be written back; the displaced block is returned.
+func (v *Victim) Insert(a mem.Addr, dirty bool) Evicted {
+	v.Stats.Inserts++
+	key, d, ev := v.fa.Insert(uint64(a)>>v.blockBits, dirty)
+	if !ev {
+		return Evicted{}
+	}
+	return Evicted{BlockAddr: mem.Addr(key << v.blockBits), Dirty: d, Valid: true}
+}
+
+// Len returns the number of resident blocks.
+func (v *Victim) Len() int { return v.fa.Len() }

@@ -1,0 +1,254 @@
+package db
+
+import (
+	"testing"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+type countSink struct{ mem.CountingEmitter }
+
+func newCtxSink() (*loopir.Ctx, *mem.CountingEmitter) {
+	var c mem.CountingEmitter
+	prog := &loopir.Program{}
+	_ = prog
+	// Build a Ctx through a one-shot program run that hands us the ctx.
+	var got *loopir.Ctx
+	p := &loopir.Program{Body: []loopir.Node{
+		&loopir.Stmt{Run: func(ctx *loopir.Ctx) { got = ctx }},
+	}}
+	loopir.Run(p, &c)
+	return got, &c
+}
+
+func TestTableBasics(t *testing.T) {
+	sp := mem.NewSpace()
+	tb := NewTable(sp, "t", 10, "a", "b", "c")
+	if tb.Rows() != 10 || tb.NumCols() != 3 {
+		t.Fatalf("shape %d x %d", tb.Rows(), tb.NumCols())
+	}
+	tb.Set(3, "b", 42)
+	if tb.Get(3, "b") != 42 {
+		t.Fatal("Set/Get round trip failed")
+	}
+	if tb.Col("c") != 2 {
+		t.Fatalf("Col(c) = %d", tb.Col("c"))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown column did not panic")
+			}
+		}()
+		tb.Col("nope")
+	}()
+}
+
+func TestTableDuplicateColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column accepted")
+		}
+	}()
+	NewTable(mem.NewSpace(), "t", 4, "a", "a")
+}
+
+func TestScanStmtRefsAnalyzable(t *testing.T) {
+	sp := mem.NewSpace()
+	tb := NewTable(sp, "t", 10, "a", "b")
+	s := tb.ScanStmt("scan", "r", 2, "a", "b")
+	if len(s.Refs) != 2 {
+		t.Fatalf("refs %d", len(s.Refs))
+	}
+	for _, r := range s.Refs {
+		if !r.Class.Analyzable() {
+			t.Fatalf("scan ref %v not analyzable", r)
+		}
+	}
+	// Interpreting a scan loop over the statement touches every row once
+	// per column.
+	var c mem.CountingEmitter
+	loopir.Run(&loopir.Program{Body: []loopir.Node{loopir.ForLoop("r", 10, s)}}, &c)
+	if c.Reads != 20 {
+		t.Fatalf("reads %d, want 20", c.Reads)
+	}
+}
+
+func TestHashIndexLookup(t *testing.T) {
+	sp := mem.NewSpace()
+	tb := NewTable(sp, "t", 64, "k", "v")
+	for r := 0; r < 64; r++ {
+		tb.Set(r, "k", int64(1000+r))
+	}
+	ix := NewHashIndex(sp, tb, "k", 16)
+	for r := 0; r < 64; r++ {
+		ix.InsertQuiet(r)
+	}
+	ctx, c := newCtxSink()
+	for r := 0; r < 64; r++ {
+		row, ok := ix.Lookup(ctx, int64(1000+r))
+		if !ok || row != r {
+			t.Fatalf("lookup key %d -> (%d,%v)", 1000+r, row, ok)
+		}
+	}
+	if _, ok := ix.Lookup(ctx, 999999); ok {
+		t.Fatal("found a missing key")
+	}
+	if c.Reads == 0 {
+		t.Fatal("lookups emitted no accesses")
+	}
+}
+
+func TestHashIndexInsertEmits(t *testing.T) {
+	sp := mem.NewSpace()
+	tb := NewTable(sp, "t", 8, "k")
+	for r := 0; r < 8; r++ {
+		tb.Set(r, "k", int64(r*3))
+	}
+	ix := NewHashIndex(sp, tb, "k", 8)
+	ctx, c := newCtxSink()
+	before := c.Accesses()
+	ix.Insert(ctx, 5)
+	if c.Accesses() == before {
+		t.Fatal("Insert emitted nothing")
+	}
+	if row, ok := ix.Lookup(ctx, 15); !ok || row != 5 {
+		t.Fatalf("lookup after insert: (%d,%v)", row, ok)
+	}
+}
+
+func TestHashIndexReset(t *testing.T) {
+	sp := mem.NewSpace()
+	tb := NewTable(sp, "t", 8, "k")
+	for r := 0; r < 8; r++ {
+		tb.Set(r, "k", int64(r))
+	}
+	ix := NewHashIndex(sp, tb, "k", 8)
+	for r := 0; r < 8; r++ {
+		ix.InsertQuiet(r)
+	}
+	// Run the reset statement and verify the index is empty.
+	var c mem.CountingEmitter
+	loopir.Run(&loopir.Program{Body: []loopir.Node{ix.ResetStmt("rst")}}, &c)
+	if c.Writes != 8 {
+		t.Fatalf("reset wrote %d cells, want 8", c.Writes)
+	}
+	ctx, _ := newCtxSink()
+	if _, ok := ix.Lookup(ctx, 3); ok {
+		t.Fatal("index not empty after reset")
+	}
+	// Rebuild works.
+	ix.InsertQuiet(3)
+	if row, ok := ix.Lookup(ctx, 3); !ok || row != 3 {
+		t.Fatal("rebuild after reset failed")
+	}
+}
+
+func TestHashIndexDoubleInsertNoCycle(t *testing.T) {
+	// Re-inserting the chain head must not create a self-cycle that
+	// hangs lookups of missing keys hashing to the same bucket.
+	sp := mem.NewSpace()
+	tb := NewTable(sp, "t", 4, "k")
+	tb.Set(0, "k", 7)
+	tb.Set(1, "k", 7) // same bucket, different row
+	ix := NewHashIndex(sp, tb, "k", 4)
+	ix.InsertQuiet(0)
+	ix.InsertQuiet(0) // must be a no-op
+	ctx, _ := newCtxSink()
+	// A lookup that has to walk past row 0 terminates only if the chain
+	// is acyclic.
+	if _, ok := ix.Lookup(ctx, 12345); ok {
+		t.Fatal("found a missing key")
+	}
+	if row, ok := ix.Lookup(ctx, 7); !ok || row != 0 {
+		t.Fatalf("lookup = (%d, %v)", row, ok)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed streams diverge")
+		}
+	}
+	if NewRNG(0).Next() == 0 {
+		t.Fatal("zero seed produced zero state")
+	}
+}
+
+func TestSkewedConcentrates(t *testing.T) {
+	r := NewRNG(7)
+	const n = 10000
+	lowSkewed, lowUniform := 0, 0
+	for i := 0; i < 20000; i++ {
+		if r.Skewed(n, 3) < n/10 {
+			lowSkewed++
+		}
+		if r.Intn(n) < n/10 {
+			lowUniform++
+		}
+	}
+	if lowSkewed <= lowUniform*2 {
+		t.Fatalf("skewed distribution not concentrated: %d vs uniform %d", lowSkewed, lowUniform)
+	}
+}
+
+func TestSkewedInRange(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Skewed(100, 2.5)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Skewed out of range: %d", v)
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	sp := mem.NewSpace()
+	rng := NewRNG(1)
+	li := GenLineitem(sp, rng, 100, 25)
+	ord := GenOrders(sp, rng, 50, 10)
+	cust := GenCustomer(sp, rng, 10)
+	stock := GenStock(sp, rng, 20)
+	cc := GenCCustomer(sp, rng, 20)
+	if li.Rows() != 100 || ord.Rows() != 50 || cust.Rows() != 10 || stock.Rows() != 20 || cc.Rows() != 20 {
+		t.Fatal("row counts wrong")
+	}
+	for r := 0; r < li.Rows(); r++ {
+		if q := li.Get(r, "quantity"); q < 1 || q > 50 {
+			t.Fatalf("lineitem quantity %d out of range", q)
+		}
+		if d := li.Get(r, "shipdate"); d < 0 || d >= DateEpochDays {
+			t.Fatalf("shipdate %d out of range", d)
+		}
+	}
+	for r := 0; r < ord.Rows(); r++ {
+		if ord.Get(r, "orderkey") != int64(r) {
+			t.Fatal("orderkey not dense")
+		}
+	}
+}
+
+var _ = countSink{}
+
+func TestBuildStmtPopulatesIndex(t *testing.T) {
+	sp := mem.NewSpace()
+	tb := NewTable(sp, "t", 32, "k")
+	for r := 0; r < 32; r++ {
+		tb.Set(r, "k", int64(500+r))
+	}
+	ix := NewHashIndex(sp, tb, "k", 16)
+	var c mem.CountingEmitter
+	loopir.Run(&loopir.Program{Body: []loopir.Node{ix.BuildStmt("build")}}, &c)
+	if c.Writes == 0 {
+		t.Fatal("build emitted no writes")
+	}
+	ctx, _ := newCtxSink()
+	for r := 0; r < 32; r++ {
+		if row, ok := ix.Lookup(ctx, int64(500+r)); !ok || row != r {
+			t.Fatalf("lookup %d -> (%d,%v)", 500+r, row, ok)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package db
+
+import "selcache/internal/mem"
+
+// RNG is a deterministic xorshift64* generator. Workload construction and
+// data generation must be reproducible run to run (the simulator is
+// deterministic, and experiments diff against golden shapes), so no
+// math/rand global state is used anywhere.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator; a zero seed is remapped (xorshift needs a
+// non-zero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (r *RNG) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("db: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float returns a value in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Skewed returns a value in [0, n) with a power-law concentration toward 0:
+// skew 1 is uniform; larger skews concentrate mass on small values (hot
+// keys). It approximates the Zipfian access patterns of OLTP keys and
+// scripting-language symbol tables.
+func (r *RNG) Skewed(n int, skew float64) int {
+	u := r.Float()
+	for i := 1.0; i < skew; i++ {
+		u *= r.Float()
+	}
+	v := int(u * float64(n))
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+// TPC-H-style column encodings: dates are days since an epoch, money in
+// cents, enumerations as small integers.
+
+// LineitemCols is the lineitem schema used by Q1/Q3/Q6.
+var LineitemCols = []string{
+	"orderkey", "partkey", "suppkey", "quantity", "extendedprice",
+	"discount", "tax", "returnflag", "linestatus", "shipdate",
+}
+
+// OrdersCols is the orders schema used by Q3 and TPC-C reports.
+var OrdersCols = []string{"orderkey", "custkey", "orderdate", "shippriority", "totalprice"}
+
+// CustomerCols is the customer schema used by Q3.
+var CustomerCols = []string{"custkey", "mktsegment", "nationkey"}
+
+// DateEpochDays spans the generated shipdate/orderdate domain.
+const DateEpochDays = 2400
+
+// GenLineitem builds and populates a lineitem table with rows line items
+// spread over nOrders orders (roughly 4 lines per order, as in TPC-H).
+func GenLineitem(sp *mem.Space, rng *RNG, rows, nOrders int) *Table {
+	t := NewTable(sp, "lineitem", rows, LineitemCols...)
+	for r := 0; r < rows; r++ {
+		t.Set(r, "orderkey", int64(rng.Intn(nOrders)))
+		t.Set(r, "partkey", int64(rng.Intn(rows/4+1)))
+		t.Set(r, "suppkey", int64(rng.Intn(rows/40+1)))
+		t.Set(r, "quantity", int64(1+rng.Intn(50)))
+		t.Set(r, "extendedprice", int64(90000+rng.Intn(1000000)))
+		t.Set(r, "discount", int64(rng.Intn(11)))
+		t.Set(r, "tax", int64(rng.Intn(9)))
+		t.Set(r, "returnflag", int64(rng.Intn(3)))
+		t.Set(r, "linestatus", int64(rng.Intn(2)))
+		t.Set(r, "shipdate", int64(rng.Intn(DateEpochDays)))
+	}
+	return t
+}
+
+// GenOrders builds and populates an orders table with rows orders over
+// nCust customers.
+func GenOrders(sp *mem.Space, rng *RNG, rows, nCust int) *Table {
+	t := NewTable(sp, "orders", rows, OrdersCols...)
+	for r := 0; r < rows; r++ {
+		t.Set(r, "orderkey", int64(r))
+		t.Set(r, "custkey", int64(rng.Intn(nCust)))
+		t.Set(r, "orderdate", int64(rng.Intn(DateEpochDays)))
+		t.Set(r, "shippriority", int64(rng.Intn(5)))
+		t.Set(r, "totalprice", int64(100000+rng.Intn(5000000)))
+	}
+	return t
+}
+
+// GenCustomer builds and populates a customer table.
+func GenCustomer(sp *mem.Space, rng *RNG, rows int) *Table {
+	t := NewTable(sp, "customer", rows, CustomerCols...)
+	for r := 0; r < rows; r++ {
+		t.Set(r, "custkey", int64(r))
+		t.Set(r, "mktsegment", int64(rng.Intn(5)))
+		t.Set(r, "nationkey", int64(rng.Intn(25)))
+	}
+	return t
+}
+
+// TPC-C-style tables, scaled down but preserving the schema relationships
+// the new-order and payment transactions touch.
+
+// StockCols is the stock schema (per-item warehouse inventory).
+var StockCols = []string{"itemid", "quantity", "ytd", "ordercnt"}
+
+// CCustomerCols is the TPC-C customer schema subset.
+var CCustomerCols = []string{"custid", "balance", "ytdpayment", "paycnt"}
+
+// OrderLineCols is the order-line insert target.
+var OrderLineCols = []string{"orderid", "line", "itemid", "qty", "amount"}
+
+// GenStock builds a stock table of nItems items.
+func GenStock(sp *mem.Space, rng *RNG, nItems int) *Table {
+	t := NewTable(sp, "stock", nItems, StockCols...)
+	for r := 0; r < nItems; r++ {
+		t.Set(r, "itemid", int64(r))
+		t.Set(r, "quantity", int64(10+rng.Intn(90)))
+		t.Set(r, "ytd", 0)
+		t.Set(r, "ordercnt", 0)
+	}
+	return t
+}
+
+// GenCCustomer builds a TPC-C customer table.
+func GenCCustomer(sp *mem.Space, rng *RNG, nCust int) *Table {
+	t := NewTable(sp, "ccustomer", nCust, CCustomerCols...)
+	for r := 0; r < nCust; r++ {
+		t.Set(r, "custid", int64(r))
+		t.Set(r, "balance", int64(rng.Intn(100000)))
+		t.Set(r, "ytdpayment", 0)
+		t.Set(r, "paycnt", 0)
+	}
+	return t
+}

@@ -1,0 +1,226 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5): the benchmark-characteristics table (Table 2),
+// the per-benchmark improvement figures for the six machine configurations
+// (Figures 4–9), the average-improvement summary across both hardware
+// mechanisms (Table 3), and the ablation studies DESIGN.md calls out.
+package experiments
+
+import (
+	"selcache/internal/core"
+	"selcache/internal/sim"
+	"selcache/internal/workloads"
+)
+
+// Row holds one benchmark's results across the simulated versions.
+type Row struct {
+	Benchmark string
+	Class     workloads.Class
+	// Cycles and Improv are indexed by core.Version. Improvement is the
+	// percentage cycle reduction versus the base run.
+	Cycles map[core.Version]uint64
+	Improv map[core.Version]float64
+	// Stats keeps the full per-version simulator statistics for detailed
+	// reporting.
+	Stats map[core.Version]sim.RunStats
+}
+
+// Sweep is one figure's worth of data: every benchmark through every
+// version under one machine configuration and hardware mechanism.
+type Sweep struct {
+	Config    sim.Config
+	Mechanism sim.HWKind
+	Rows      []Row
+	// Avg holds the arithmetic-mean improvement per version; ClassAvg
+	// splits it by benchmark class.
+	Avg      map[core.Version]float64
+	ClassAvg map[workloads.Class]map[core.Version]float64
+}
+
+// RunSweep simulates the given workloads (paper order when ws is nil)
+// through all five versions under o.
+func RunSweep(o core.Options, ws []workloads.Workload) Sweep {
+	if ws == nil {
+		ws = workloads.All()
+	}
+	sw := Sweep{
+		Config:    o.Machine,
+		Mechanism: o.Mechanism,
+		Avg:       map[core.Version]float64{},
+		ClassAvg:  map[workloads.Class]map[core.Version]float64{},
+	}
+	classN := map[workloads.Class]int{}
+	for _, w := range ws {
+		row := Row{
+			Benchmark: w.Name,
+			Class:     w.Class,
+			Cycles:    map[core.Version]uint64{},
+			Improv:    map[core.Version]float64{},
+			Stats:     map[core.Version]sim.RunStats{},
+		}
+		var base core.Result
+		for _, v := range core.Versions() {
+			res := core.Run(w.Build, v, o)
+			if v == core.Base {
+				base = res
+			}
+			row.Cycles[v] = res.Sim.Cycles
+			row.Improv[v] = core.Improvement(base, res)
+			row.Stats[v] = res.Sim
+		}
+		sw.Rows = append(sw.Rows, row)
+		classN[w.Class]++
+		for _, v := range core.Versions() {
+			sw.Avg[v] += row.Improv[v]
+			if sw.ClassAvg[w.Class] == nil {
+				sw.ClassAvg[w.Class] = map[core.Version]float64{}
+			}
+			sw.ClassAvg[w.Class][v] += row.Improv[v]
+		}
+	}
+	if len(sw.Rows) > 0 {
+		for v := range sw.Avg {
+			sw.Avg[v] /= float64(len(sw.Rows))
+		}
+		for c, m := range sw.ClassAvg {
+			for v := range m {
+				m[v] /= float64(classN[c])
+			}
+		}
+	}
+	return sw
+}
+
+// FigureID identifies one of the paper's per-benchmark figures.
+type FigureID int
+
+const (
+	// Figure4 is the base configuration.
+	Figure4 FigureID = iota
+	// Figure5 is the 200-cycle memory latency configuration.
+	Figure5
+	// Figure6 is the 1 MB L2 configuration.
+	Figure6
+	// Figure7 is the 64 KB L1 configuration.
+	Figure7
+	// Figure8 is the 8-way L2 configuration.
+	Figure8
+	// Figure9 is the 8-way L1 configuration.
+	Figure9
+)
+
+// Config returns the machine configuration the figure uses.
+func (f FigureID) Config() sim.Config {
+	return sim.ExperimentConfigs()[int(f)]
+}
+
+// Name returns the paper's figure caption.
+func (f FigureID) Name() string {
+	switch f {
+	case Figure4:
+		return "Figure 4: Base configuration"
+	case Figure5:
+		return "Figure 5: Larger memory latency (200 cycles)"
+	case Figure6:
+		return "Figure 6: Larger L2 size (1 MB)"
+	case Figure7:
+		return "Figure 7: Larger L1 size (64 KB)"
+	case Figure8:
+		return "Figure 8: Higher L2 associativity (8)"
+	case Figure9:
+		return "Figure 9: Higher L1 associativity (8)"
+	default:
+		return "unknown figure"
+	}
+}
+
+// Figures lists all six.
+func Figures() []FigureID {
+	return []FigureID{Figure4, Figure5, Figure6, Figure7, Figure8, Figure9}
+}
+
+// RunFigure reproduces one of Figures 4–9 (cache bypassing as the hardware
+// mechanism, per Section 5.1).
+func RunFigure(f FigureID) Sweep {
+	o := core.DefaultOptions()
+	o.Machine = f.Config()
+	o.Mechanism = sim.HWBypass
+	return RunSweep(o, nil)
+}
+
+// Table2Row holds one benchmark's characteristics under the base machine
+// (instructions executed and L1/L2 miss rates of the base run) — the
+// paper's Table 2.
+type Table2Row struct {
+	Benchmark    string
+	Class        workloads.Class
+	Instructions uint64
+	L1MissPct    float64
+	L2MissPct    float64
+	ConflictPct  float64 // share of L1 misses that are conflict misses
+}
+
+// Table2 reproduces the benchmark-characteristics table. Classification of
+// misses is enabled, so it also reports the conflict-miss share the paper
+// quotes in Section 4.2 (53–72%).
+func Table2() []Table2Row {
+	o := core.DefaultOptions()
+	o.Classify = true
+	var out []Table2Row
+	for _, w := range workloads.All() {
+		res := core.Run(w.Build, core.Base, o)
+		s := res.Sim
+		row := Table2Row{
+			Benchmark:    w.Name,
+			Class:        w.Class,
+			Instructions: s.Instructions,
+			L1MissPct:    100 * s.L1.MissRate(),
+			L2MissPct:    100 * s.L2.MissRate(),
+		}
+		if t := s.L1Class.Total(); t > 0 {
+			row.ConflictPct = 100 * float64(s.L1Class.Conflict) / float64(t)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Table3Row is one machine configuration's average improvements across the
+// seven scheme columns of the paper's Table 3.
+type Table3Row struct {
+	Config          string
+	PureSoftware    float64
+	CacheBypass     float64
+	CombinedBypass  float64
+	SelectiveBypass float64
+	VictimCache     float64
+	CombinedVictim  float64
+	SelectiveVictim float64
+}
+
+// Table3 reproduces the average-improvement summary for every experiment
+// configuration and both hardware mechanisms.
+func Table3() []Table3Row {
+	var out []Table3Row
+	for _, cfg := range sim.ExperimentConfigs() {
+		ob := core.DefaultOptions()
+		ob.Machine = cfg
+		ob.Mechanism = sim.HWBypass
+		bp := RunSweep(ob, nil)
+
+		ov := ob
+		ov.Mechanism = sim.HWVictim
+		vc := RunSweep(ov, nil)
+
+		out = append(out, Table3Row{
+			Config:          cfg.Name,
+			PureSoftware:    bp.Avg[core.PureSoftware],
+			CacheBypass:     bp.Avg[core.PureHardware],
+			CombinedBypass:  bp.Avg[core.Combined],
+			SelectiveBypass: bp.Avg[core.Selective],
+			VictimCache:     vc.Avg[core.PureHardware],
+			CombinedVictim:  vc.Avg[core.Combined],
+			SelectiveVictim: vc.Avg[core.Selective],
+		})
+	}
+	return out
+}

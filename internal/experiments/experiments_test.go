@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+
+	"selcache/internal/core"
+	"selcache/internal/sim"
+	"selcache/internal/workloads"
+)
+
+// subset keeps the sweep-based tests fast: one benchmark per class.
+func subset() []workloads.Workload {
+	var out []workloads.Workload
+	for _, name := range []string{"vpenta", "compress", "tpc-d.q3"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			panic("missing benchmark " + name)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func TestRunSweepShapes(t *testing.T) {
+	sw := RunSweep(core.DefaultOptions(), subset())
+	if len(sw.Rows) != 3 {
+		t.Fatalf("%d rows", len(sw.Rows))
+	}
+	for _, row := range sw.Rows {
+		if row.Improv[core.Base] != 0 {
+			t.Fatalf("%s: base improvement %.2f != 0", row.Benchmark, row.Improv[core.Base])
+		}
+		if row.Cycles[core.Base] == 0 {
+			t.Fatalf("%s: zero base cycles", row.Benchmark)
+		}
+		// Selective within a whisker of the best version (the paper's
+		// headline claim).
+		sel := row.Improv[core.Selective]
+		for _, v := range []core.Version{core.PureHardware, core.PureSoftware, core.Combined} {
+			if d := row.Improv[v] - sel; d > 0.3 {
+				t.Errorf("%s: %v beats selective by %.2f points", row.Benchmark, v, d)
+			}
+		}
+	}
+	if len(sw.ClassAvg) != 3 {
+		t.Fatalf("class averages missing: %v", sw.ClassAvg)
+	}
+}
+
+func TestFigureIDs(t *testing.T) {
+	if len(Figures()) != 6 {
+		t.Fatal("figure count")
+	}
+	for _, f := range Figures() {
+		if f.Name() == "unknown figure" {
+			t.Fatalf("figure %d unnamed", f)
+		}
+	}
+	if Figure5.Config().MemLat != 200 {
+		t.Fatal("Figure5 config wrong")
+	}
+	if Figure7.Config().L1.Size != 64<<10 {
+		t.Fatal("Figure7 config wrong")
+	}
+}
+
+func TestVictimSweepNeverLosesToBase(t *testing.T) {
+	o := core.DefaultOptions()
+	o.Mechanism = sim.HWVictim
+	sw := RunSweep(o, subset())
+	for _, row := range sw.Rows {
+		if row.Improv[core.PureHardware] < -0.3 {
+			t.Errorf("%s: victim cache lost %.2f%% to base", row.Benchmark, -row.Improv[core.PureHardware])
+		}
+	}
+}
+
+func TestVictimScenario(t *testing.T) {
+	r := VictimScenario()
+	if r.SelectiveVictimHits <= r.CombinedVictimHits {
+		t.Fatalf("gating did not preserve victims: selective %d hits vs combined %d",
+			r.SelectiveVictimHits, r.CombinedVictimHits)
+	}
+	if r.SelectiveCycles >= r.CombinedCycles {
+		t.Fatalf("selective %d cycles, combined %d", r.SelectiveCycles, r.CombinedCycles)
+	}
+}
+
+func TestThresholdInsensitive(t *testing.T) {
+	rows := ThresholdSweep([]float64{0.3, 0.5, 0.7}, subset())
+	if len(rows) != 3 {
+		t.Fatal("row count")
+	}
+	// Section 4.1: the threshold is not critical — improvements must
+	// stay within a point of each other across the sweep.
+	for _, r := range rows[1:] {
+		if d := r.AvgImprovement - rows[0].AvgImprovement; d > 1 || d < -1 {
+			t.Errorf("threshold %.1f shifts improvement by %.2f points", r.Threshold, d)
+		}
+	}
+}
+
+func TestMarkerEliminationAblation(t *testing.T) {
+	rows := MarkerElimination(subset())
+	for _, r := range rows {
+		// Eliminating redundant markers can only help (it removes
+		// instructions); allow for sub-0.1-point noise.
+		if r.Ablated > r.Default+0.1 {
+			t.Errorf("%s: naive markers beat eliminated ones by %.2f", r.Benchmark, r.Ablated-r.Default)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 13-benchmark classification pass")
+	}
+	rows := Table2()
+	if len(rows) != 13 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instructions == 0 || r.L1MissPct <= 0 {
+			t.Errorf("%s: empty characteristics %+v", r.Benchmark, r)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package loopir defines the loop-nest intermediate representation shared by
+// the region-detection algorithm (internal/regions), the locality optimizer
+// (internal/opt) and the workloads (internal/workloads).
+//
+// A program is a tree of loops, statements and hardware ON/OFF markers.
+// Statements carry classified memory references: analyzable references
+// (scalars and affine array references) are emitted automatically by the
+// interpreter and can be transformed by the compiler; non-analyzable
+// references (non-affine, subscripted-subscript, pointer and struct
+// references) are produced by opaque Run functions that the compiler never
+// touches — exactly the split the paper's region detection relies on.
+package loopir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is one coeff*variable product of an affine expression.
+type Term struct {
+	Var   string
+	Coeff int
+}
+
+// Expr is an affine expression over loop induction variables:
+// sum(Coeff_i * Var_i) + Const. The zero value is the constant 0.
+//
+// Terms are kept sorted by variable name with no zero coefficients and no
+// duplicates, so expressions have a canonical form and can be compared.
+type Expr struct {
+	Terms []Term
+	Const int
+}
+
+// ConstExpr returns the constant expression n.
+func ConstExpr(n int) Expr { return Expr{Const: n} }
+
+// VarExpr returns the expression 1*name.
+func VarExpr(name string) Expr { return Expr{Terms: []Term{{Var: name, Coeff: 1}}} }
+
+// AxPlusB returns the expression coeff*name + c.
+func AxPlusB(coeff int, name string, c int) Expr {
+	e := Expr{Const: c}
+	if coeff != 0 {
+		e.Terms = []Term{{Var: name, Coeff: coeff}}
+	}
+	return e
+}
+
+func (e Expr) normalize() Expr {
+	if len(e.Terms) == 0 {
+		return e
+	}
+	sort.Slice(e.Terms, func(i, j int) bool { return e.Terms[i].Var < e.Terms[j].Var })
+	out := e.Terms[:0]
+	for _, t := range e.Terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Var == t.Var {
+			out[n-1].Coeff += t.Coeff
+			if out[n-1].Coeff == 0 {
+				out = out[:n-1]
+			}
+			continue
+		}
+		out = append(out, t)
+	}
+	e.Terms = out
+	return e
+}
+
+// Add returns e + f.
+func (e Expr) Add(f Expr) Expr {
+	sum := Expr{
+		Terms: append(append([]Term(nil), e.Terms...), f.Terms...),
+		Const: e.Const + f.Const,
+	}
+	return sum.normalize()
+}
+
+// AddConst returns e + n.
+func (e Expr) AddConst(n int) Expr {
+	e.Terms = append([]Term(nil), e.Terms...)
+	e.Const += n
+	return e
+}
+
+// Scale returns k*e.
+func (e Expr) Scale(k int) Expr {
+	if k == 0 {
+		return Expr{}
+	}
+	out := Expr{Const: e.Const * k, Terms: make([]Term, len(e.Terms))}
+	for i, t := range e.Terms {
+		out.Terms[i] = Term{Var: t.Var, Coeff: t.Coeff * k}
+	}
+	return out
+}
+
+// Coeff returns the coefficient of variable name (zero if absent).
+func (e Expr) Coeff(name string) int {
+	for _, t := range e.Terms {
+		if t.Var == name {
+			return t.Coeff
+		}
+	}
+	return 0
+}
+
+// Uses reports whether the expression mentions variable name.
+func (e Expr) Uses(name string) bool { return e.Coeff(name) != 0 }
+
+// IsConst reports whether the expression is a constant.
+func (e Expr) IsConst() bool { return len(e.Terms) == 0 }
+
+// Vars returns the variables mentioned, in sorted order.
+func (e Expr) Vars() []string {
+	vs := make([]string, len(e.Terms))
+	for i, t := range e.Terms {
+		vs[i] = t.Var
+	}
+	return vs
+}
+
+// Subst returns e with every occurrence of variable name replaced by repl.
+// It is used by unroll-and-jam (i -> u*i' + k) and loop normalization.
+func (e Expr) Subst(name string, repl Expr) Expr {
+	out := Expr{Const: e.Const}
+	for _, t := range e.Terms {
+		if t.Var == name {
+			out = out.Add(repl.Scale(t.Coeff))
+		} else {
+			out.Terms = append(out.Terms, t)
+		}
+	}
+	return out.normalize()
+}
+
+// Eval evaluates the expression in env. Missing variables evaluate to zero;
+// workloads are constructed so that every used variable is bound, and the
+// interpreter's tests enforce it.
+func (e Expr) Eval(env map[string]int) int {
+	v := e.Const
+	for _, t := range e.Terms {
+		v += t.Coeff * env[t.Var]
+	}
+	return v
+}
+
+// Equal reports structural equality (both in canonical form).
+func (e Expr) Equal(f Expr) bool {
+	if e.Const != f.Const || len(e.Terms) != len(f.Terms) {
+		return false
+	}
+	for i := range e.Terms {
+		if e.Terms[i] != f.Terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression, e.g. "2*i + j + 3".
+func (e Expr) String() string {
+	var b strings.Builder
+	for i, t := range e.Terms {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		if t.Coeff == 1 {
+			b.WriteString(t.Var)
+		} else {
+			fmt.Fprintf(&b, "%d*%s", t.Coeff, t.Var)
+		}
+	}
+	if e.Const != 0 || len(e.Terms) == 0 {
+		if len(e.Terms) > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%d", e.Const)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package loopir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprBasics(t *testing.T) {
+	e := AxPlusB(2, "i", 3).Add(VarExpr("j"))
+	env := map[string]int{"i": 5, "j": 7}
+	if got := e.Eval(env); got != 2*5+3+7 {
+		t.Fatalf("eval = %d", got)
+	}
+	if e.Coeff("i") != 2 || e.Coeff("j") != 1 || e.Coeff("k") != 0 {
+		t.Fatal("coefficients wrong")
+	}
+	if !e.Uses("i") || e.Uses("k") {
+		t.Fatal("Uses wrong")
+	}
+	if e.IsConst() {
+		t.Fatal("IsConst wrong")
+	}
+	if !ConstExpr(4).IsConst() {
+		t.Fatal("const not const")
+	}
+}
+
+func TestExprCancellation(t *testing.T) {
+	e := VarExpr("i").Add(AxPlusB(-1, "i", 5))
+	if !e.IsConst() || e.Const != 5 {
+		t.Fatalf("i - i + 5 = %v", e)
+	}
+}
+
+func TestExprSubst(t *testing.T) {
+	// Substituting i := 4i' + 1 into 2i + j + 3 gives 8i' + j + 5.
+	e := AxPlusB(2, "i", 3).Add(VarExpr("j"))
+	got := e.Subst("i", AxPlusB(4, "i'", 1))
+	want := AxPlusB(8, "i'", 5).Add(VarExpr("j"))
+	if !got.Equal(want) {
+		t.Fatalf("subst = %v, want %v", got, want)
+	}
+	// Substituting an unused variable is the identity.
+	if !e.Subst("z", ConstExpr(9)).Equal(e) {
+		t.Fatal("subst of unused var changed expression")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := map[string]Expr{
+		"0":       {},
+		"7":       ConstExpr(7),
+		"i":       VarExpr("i"),
+		"2*i + 3": AxPlusB(2, "i", 3),
+		"i + j":   VarExpr("i").Add(VarExpr("j")),
+	}
+	for want, e := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: Add is commutative and Eval is a homomorphism.
+func TestExprAlgebraQuick(t *testing.T) {
+	mk := func(a, b, c int8) Expr {
+		return AxPlusB(int(a), "i", int(c)).Add(AxPlusB(int(b), "j", 0))
+	}
+	f := func(a1, b1, c1, a2, b2, c2, vi, vj int8) bool {
+		e1, e2 := mk(a1, b1, c1), mk(a2, b2, c2)
+		env := map[string]int{"i": int(vi), "j": int(vj)}
+		if !e1.Add(e2).Equal(e2.Add(e1)) {
+			return false
+		}
+		if e1.Add(e2).Eval(env) != e1.Eval(env)+e2.Eval(env) {
+			return false
+		}
+		if e1.Scale(3).Eval(env) != 3*e1.Eval(env) {
+			return false
+		}
+		// Subst then eval == eval with substituted binding.
+		repl := AxPlusB(2, "k", 1)
+		env2 := map[string]int{"j": int(vj), "k": int(vi)}
+		env3 := map[string]int{"i": repl.Eval(env2), "j": int(vj)}
+		return e1.Subst("i", repl).Eval(env2) == e1.Eval(env3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := VarExpr("j").Add(VarExpr("a")).Add(ConstExpr(2))
+	vs := e.Vars()
+	if len(vs) != 2 || vs[0] != "a" || vs[1] != "j" {
+		t.Fatalf("Vars = %v", vs)
+	}
+}

@@ -1,0 +1,199 @@
+package loopir
+
+import (
+	"fmt"
+
+	"selcache/internal/mem"
+)
+
+// Per-iteration bookkeeping costs, in instructions. These model the
+// induction-variable increment, the bound compare and the back branch of a
+// counted loop, plus one-off loop setup. They matter because the paper
+// charges the ON/OFF instruction overhead against the selective scheme, so
+// instruction accounting has to be honest.
+const (
+	// LoopSetupCost is charged once per loop entry.
+	LoopSetupCost = 2
+	// LoopIterCost is charged once per iteration.
+	LoopIterCost = 2
+)
+
+// Ctx is the execution context handed to opaque statement bodies. It exposes
+// the induction-variable environment and typed helpers that both emit the
+// simulated access and (for loads of backing data) return the stored value,
+// so irregular workloads chase real pointers and indices.
+type Ctx struct {
+	Em      mem.Emitter
+	env     map[string]int
+	scratch [8]int
+}
+
+// V returns the current value of induction variable name. It panics if the
+// variable is not bound, which indicates a workload construction bug.
+func (c *Ctx) V(name string) int {
+	v, ok := c.env[name]
+	if !ok {
+		panic(fmt.Sprintf("loopir: unbound induction variable %q", name))
+	}
+	return v
+}
+
+// Env exposes the raw environment (read-only by convention).
+func (c *Ctx) Env() map[string]int { return c.env }
+
+// Bind sets an induction-variable alias in the environment. Opaque bodies
+// written against generic variable names use it to adapt to the uniquely
+// named loops that enclose them.
+func (c *Ctx) Bind(name string, val int) { c.env[name] = val }
+
+// Load emits a read of a[idx...].
+func (c *Ctx) Load(a *mem.Array, idx ...int) {
+	c.Em.Access(a.Addr(idx...), a.AccessSize(), false)
+}
+
+// Store emits a write of a[idx...].
+func (c *Ctx) Store(a *mem.Array, idx ...int) {
+	c.Em.Access(a.Addr(idx...), a.AccessSize(), true)
+}
+
+// LoadVal emits a read of a[idx...] and returns the backing value.
+func (c *Ctx) LoadVal(a *mem.Array, idx ...int) int64 {
+	c.Em.Access(a.Addr(idx...), a.AccessSize(), false)
+	return a.Data(idx...)
+}
+
+// StoreVal emits a write of a[idx...] and updates the backing value.
+func (c *Ctx) StoreVal(a *mem.Array, v int64, idx ...int) {
+	c.Em.Access(a.Addr(idx...), a.AccessSize(), true)
+	a.SetData(v, idx...)
+}
+
+// LoadScalar emits a read of s.
+func (c *Ctx) LoadScalar(s *mem.Scalar) {
+	c.Em.Access(s.Addr, s.Size, false)
+}
+
+// StoreScalar emits a write of s.
+func (c *Ctx) StoreScalar(s *mem.Scalar) {
+	c.Em.Access(s.Addr, s.Size, true)
+}
+
+// LoadAddr emits a read of size bytes at a raw address (used by substrates
+// that manage their own layouts, e.g. the in-memory database pages).
+func (c *Ctx) LoadAddr(addr mem.Addr, size uint8) {
+	c.Em.Access(addr, size, false)
+}
+
+// StoreAddr emits a write of size bytes at a raw address.
+func (c *Ctx) StoreAddr(addr mem.Addr, size uint8) {
+	c.Em.Access(addr, size, true)
+}
+
+// Compute accounts n non-memory instructions.
+func (c *Ctx) Compute(n int) { c.Em.Compute(n) }
+
+// Run interprets the program, streaming its events into em.
+func Run(p *Program, em mem.Emitter) {
+	ctx := &Ctx{Em: em, env: make(map[string]int, 8)}
+	runBody(p.Body, ctx)
+}
+
+func runBody(body []Node, ctx *Ctx) {
+	for _, n := range body {
+		switch n := n.(type) {
+		case *Loop:
+			runLoop(n, ctx)
+		case *Stmt:
+			runStmt(n, ctx)
+		case *Marker:
+			ctx.Em.Marker(n.On)
+		default:
+			panic(fmt.Sprintf("loopir: unknown node %T", n))
+		}
+	}
+}
+
+func runLoop(l *Loop, ctx *Ctx) {
+	if l.Step <= 0 {
+		panic(fmt.Sprintf("loopir: loop %s has step %d", l.Var, l.Step))
+	}
+	lo := l.Lo.Eval(ctx.env)
+	hi := l.Bound(ctx.env)
+	ctx.Em.Compute(LoopSetupCost)
+	saved, had := ctx.env[l.Var]
+	for v := lo; v < hi; v += l.Step {
+		ctx.env[l.Var] = v
+		ctx.Em.Compute(LoopIterCost)
+		runBody(l.Body, ctx)
+	}
+	if had {
+		ctx.env[l.Var] = saved
+	} else {
+		delete(ctx.env, l.Var)
+	}
+}
+
+func runStmt(s *Stmt, ctx *Ctx) {
+	if s.Run != nil {
+		s.Run(ctx)
+		return
+	}
+	if s.Compute > 0 {
+		ctx.Em.Compute(s.Compute)
+	}
+	for i := range s.Refs {
+		r := &s.Refs[i]
+		if r.Hoisted {
+			continue
+		}
+		switch r.Class {
+		case ClassScalar:
+			ctx.Em.Access(r.Scalar.Addr, r.Scalar.Size, r.Write)
+		case ClassAffine:
+			idx := ctx.scratch[:len(r.Subs)]
+			for d, e := range r.Subs {
+				idx[d] = e.Eval(ctx.env)
+			}
+			ctx.Em.Access(r.Array.Addr(idx...), r.Array.AccessSize(), r.Write)
+		default:
+			panic(fmt.Sprintf("loopir: statement %q has non-analyzable ref %s but no Run body", s.Name, r))
+		}
+	}
+}
+
+// Validate checks structural invariants of a program: positive steps, no
+// non-analyzable references on statements lacking a Run body, subscript
+// arity matching array rank, and balanced markers (never two ONs or two
+// OFFs in a row on any path). It returns the first violation found.
+func Validate(p *Program) error {
+	var err error
+	var check func(body []Node)
+	check = func(body []Node) {
+		for _, n := range body {
+			if err != nil {
+				return
+			}
+			switch n := n.(type) {
+			case *Loop:
+				if n.Step <= 0 {
+					err = fmt.Errorf("loop %s: step %d", n.Var, n.Step)
+					return
+				}
+				check(n.Body)
+			case *Stmt:
+				for _, r := range n.Refs {
+					if r.Class == ClassAffine && len(r.Subs) != len(r.Array.Dims) {
+						err = fmt.Errorf("stmt %s: ref %s arity mismatch", n.Name, r)
+						return
+					}
+					if !r.Class.Analyzable() && n.Run == nil {
+						err = fmt.Errorf("stmt %s: non-analyzable ref %s without Run body", n.Name, r)
+						return
+					}
+				}
+			}
+		}
+	}
+	check(p.Body)
+	return err
+}

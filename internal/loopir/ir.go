@@ -1,0 +1,363 @@
+package loopir
+
+import (
+	"fmt"
+	"strings"
+
+	"selcache/internal/mem"
+)
+
+// RefClass classifies a memory reference per Section 2.3 of the paper.
+// Scalar and affine references are analyzable (the compiler can optimize
+// them); the remaining classes are not.
+type RefClass int
+
+const (
+	// ClassScalar is a scalar reference, e.g. A.
+	ClassScalar RefClass = iota
+	// ClassAffine is an affine array reference, e.g. B[i], C[i+j][k-1].
+	ClassAffine
+	// ClassNonAffine is a non-affine array reference, e.g. D[i*i][j].
+	ClassNonAffine
+	// ClassIndexed is a subscripted-subscript reference, e.g. G[IP[j]+2].
+	ClassIndexed
+	// ClassPointer is a pointer dereference, e.g. *H[i].
+	ClassPointer
+	// ClassStruct is a struct field access, e.g. J.field, K->field.
+	ClassStruct
+)
+
+// Analyzable reports whether references of this class can be optimized at
+// compile time.
+func (c RefClass) Analyzable() bool { return c == ClassScalar || c == ClassAffine }
+
+// String returns the class name.
+func (c RefClass) String() string {
+	switch c {
+	case ClassScalar:
+		return "scalar"
+	case ClassAffine:
+		return "affine"
+	case ClassNonAffine:
+		return "non-affine"
+	case ClassIndexed:
+		return "indexed"
+	case ClassPointer:
+		return "pointer"
+	case ClassStruct:
+		return "struct"
+	default:
+		return fmt.Sprintf("RefClass(%d)", int(c))
+	}
+}
+
+// Ref is one static memory reference of a statement.
+//
+// For ClassScalar, Scalar identifies the variable. For ClassAffine, Array
+// and Subs identify the element. For the non-analyzable classes the fields
+// are advisory (used for diagnostics); the accesses themselves are emitted
+// by the statement's Run function.
+type Ref struct {
+	Class  RefClass
+	Write  bool
+	Scalar *mem.Scalar
+	Array  *mem.Array
+	Subs   []Expr
+	// Hoisted is set by the scalar-replacement pass: the reference has
+	// been promoted to a register within its innermost loop, so the
+	// interpreter does not emit it per iteration (the pass inserts
+	// explicit preheader/epilogue statements that carry the remaining
+	// memory traffic).
+	Hoisted bool
+}
+
+// ScalarRef builds an analyzable scalar reference.
+func ScalarRef(s *mem.Scalar, write bool) Ref {
+	return Ref{Class: ClassScalar, Scalar: s, Write: write}
+}
+
+// AffineRef builds an analyzable affine array reference.
+func AffineRef(a *mem.Array, write bool, subs ...Expr) Ref {
+	if len(subs) != len(a.Dims) {
+		panic(fmt.Sprintf("loopir: ref to %s has %d subscripts, array has %d dims", a.Name, len(subs), len(a.Dims)))
+	}
+	return Ref{Class: ClassAffine, Array: a, Subs: subs, Write: write}
+}
+
+// OpaqueRef declares a non-analyzable reference of the given class touching
+// array a (which may be nil). It only participates in classification.
+func OpaqueRef(class RefClass, a *mem.Array, write bool) Ref {
+	if class.Analyzable() {
+		panic("loopir: OpaqueRef with analyzable class")
+	}
+	return Ref{Class: class, Array: a, Write: write}
+}
+
+// String renders the reference for diagnostics.
+func (r Ref) String() string {
+	rw := "r"
+	if r.Write {
+		rw = "w"
+	}
+	switch r.Class {
+	case ClassScalar:
+		return fmt.Sprintf("%s:%s(%s)", rw, r.Scalar.Name, r.Class)
+	case ClassAffine:
+		subs := make([]string, len(r.Subs))
+		for i, s := range r.Subs {
+			subs[i] = "[" + s.String() + "]"
+		}
+		return fmt.Sprintf("%s:%s%s", rw, r.Array.Name, strings.Join(subs, ""))
+	default:
+		name := "?"
+		if r.Array != nil {
+			name = r.Array.Name
+		}
+		return fmt.Sprintf("%s:%s(%s)", rw, name, r.Class)
+	}
+}
+
+// Node is an element of a program body: *Loop, *Stmt or *Marker.
+type Node interface {
+	node()
+	// Clone returns a deep copy of the node. Arrays and scalars are
+	// shared (they are program-global objects); expression slices and
+	// child nodes are copied.
+	Clone() Node
+}
+
+// Preference records which optimization strategy region detection selected
+// for a loop.
+type Preference int
+
+const (
+	// PrefUnset means the loop has not been analyzed.
+	PrefUnset Preference = iota
+	// PrefSoftware means the loop is compiler-optimizable.
+	PrefSoftware
+	// PrefHardware means the loop is left to the hardware mechanism.
+	PrefHardware
+	// PrefMixed means the loop contains children with differing
+	// preferences and is handled region by region.
+	PrefMixed
+)
+
+// String returns the preference name.
+func (p Preference) String() string {
+	switch p {
+	case PrefUnset:
+		return "unset"
+	case PrefSoftware:
+		return "software"
+	case PrefHardware:
+		return "hardware"
+	case PrefMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Preference(%d)", int(p))
+	}
+}
+
+// Loop is a counted loop: for Var := Lo; Var < Hi (and < Cap if set); Var += Step.
+type Loop struct {
+	Var string
+	Lo  Expr
+	Hi  Expr
+	// Cap, when non-nil, caps the upper bound: the loop runs while
+	// Var < min(Hi, Cap). Tiling uses it for the intra-tile loops.
+	Cap  *Expr
+	Step int
+	Body []Node
+
+	// Pref is filled in by region detection.
+	Pref Preference
+}
+
+func (*Loop) node() {}
+
+// Clone implements Node.
+func (l *Loop) Clone() Node {
+	c := &Loop{Var: l.Var, Lo: l.Lo, Hi: l.Hi, Step: l.Step, Pref: l.Pref}
+	if l.Cap != nil {
+		capCopy := *l.Cap
+		c.Cap = &capCopy
+	}
+	c.Body = CloneBody(l.Body)
+	return c
+}
+
+// Bound evaluates the loop's effective upper bound in env.
+func (l *Loop) Bound(env map[string]int) int {
+	hi := l.Hi.Eval(env)
+	if l.Cap != nil {
+		if c := l.Cap.Eval(env); c < hi {
+			hi = c
+		}
+	}
+	return hi
+}
+
+// RunFunc is the opaque body of a statement with non-analyzable references.
+// It receives the execution context and must emit every access the
+// statement performs (the interpreter emits nothing automatically for
+// statements that have a Run function).
+type RunFunc func(ctx *Ctx)
+
+// Stmt is a straight-line statement. If Run is nil, every Ref must be
+// analyzable and the interpreter emits Compute instructions followed by the
+// references in order. If Run is non-nil, the references are classification
+// metadata and Run is responsible for all event emission (including
+// Compute).
+type Stmt struct {
+	Name    string
+	Refs    []Ref
+	Compute int
+	Run     RunFunc
+}
+
+func (*Stmt) node() {}
+
+// Clone implements Node. The Run closure is shared: opaque statements are
+// never rewritten by the compiler, so sharing is safe.
+func (s *Stmt) Clone() Node {
+	c := &Stmt{Name: s.Name, Compute: s.Compute, Run: s.Run}
+	c.Refs = make([]Ref, len(s.Refs))
+	for i, r := range s.Refs {
+		r.Subs = append([]Expr(nil), r.Subs...)
+		c.Refs[i] = r
+	}
+	return c
+}
+
+// Opaque reports whether the statement has an opaque body.
+func (s *Stmt) Opaque() bool { return s.Run != nil }
+
+// Marker is an activate (On) or deactivate (!On) instruction for the
+// hardware optimization mechanism, inserted by region detection.
+type Marker struct {
+	On bool
+}
+
+func (*Marker) node() {}
+
+// Clone implements Node.
+func (m *Marker) Clone() Node { return &Marker{On: m.On} }
+
+// Program is a whole benchmark: a name plus a top-level body.
+type Program struct {
+	Name string
+	Body []Node
+}
+
+// Clone deep-copies the program (sharing arrays and opaque closures).
+func (p *Program) Clone() *Program {
+	return &Program{Name: p.Name, Body: CloneBody(p.Body)}
+}
+
+// CloneBody deep-copies a node slice.
+func CloneBody(body []Node) []Node {
+	out := make([]Node, len(body))
+	for i, n := range body {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
+// ForLoop is a convenience constructor for the common 0..n loop.
+func ForLoop(v string, n int, body ...Node) *Loop {
+	return &Loop{Var: v, Lo: ConstExpr(0), Hi: ConstExpr(n), Step: 1, Body: body}
+}
+
+// ForRange is a convenience constructor for a lo..hi loop.
+func ForRange(v string, lo, hi Expr, body ...Node) *Loop {
+	return &Loop{Var: v, Lo: lo, Hi: hi, Step: 1, Body: body}
+}
+
+// Walk calls fn for every node in the body, pre-order. If fn returns false
+// the node's children are skipped.
+func Walk(body []Node, fn func(Node) bool) {
+	for _, n := range body {
+		if !fn(n) {
+			continue
+		}
+		if l, ok := n.(*Loop); ok {
+			Walk(l.Body, fn)
+		}
+	}
+}
+
+// Loops returns every loop in the body, pre-order.
+func Loops(body []Node) []*Loop {
+	var out []*Loop
+	Walk(body, func(n Node) bool {
+		if l, ok := n.(*Loop); ok {
+			out = append(out, l)
+		}
+		return true
+	})
+	return out
+}
+
+// Stmts returns every statement in the body, pre-order.
+func Stmts(body []Node) []*Stmt {
+	var out []*Stmt
+	Walk(body, func(n Node) bool {
+		if s, ok := n.(*Stmt); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// Refs returns every static reference in the body, pre-order.
+func Refs(body []Node) []Ref {
+	var out []Ref
+	for _, s := range Stmts(body) {
+		out = append(out, s.Refs...)
+	}
+	return out
+}
+
+// String renders the program structure for diagnostics and golden tests.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	renderBody(&b, p.Body, 1)
+	return b.String()
+}
+
+func renderBody(b *strings.Builder, body []Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range body {
+		switch n := n.(type) {
+		case *Loop:
+			capStr := ""
+			if n.Cap != nil {
+				capStr = fmt.Sprintf(" cap %s", n.Cap.String())
+			}
+			pref := ""
+			if n.Pref != PrefUnset {
+				pref = " <" + n.Pref.String() + ">"
+			}
+			fmt.Fprintf(b, "%sfor %s = %s .. %s%s step %d%s\n", ind, n.Var, n.Lo.String(), n.Hi.String(), capStr, n.Step, pref)
+			renderBody(b, n.Body, depth+1)
+		case *Stmt:
+			kind := ""
+			if n.Opaque() {
+				kind = " (opaque)"
+			}
+			refs := make([]string, len(n.Refs))
+			for i, r := range n.Refs {
+				refs[i] = r.String()
+			}
+			fmt.Fprintf(b, "%s%s%s: %s\n", ind, n.Name, kind, strings.Join(refs, " "))
+		case *Marker:
+			state := "OFF"
+			if n.On {
+				state = "ON"
+			}
+			fmt.Fprintf(b, "%s@%s\n", ind, state)
+		}
+	}
+}

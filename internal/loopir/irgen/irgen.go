@@ -1,0 +1,169 @@
+// Package irgen generates random loopir programs for property-based and
+// fuzz-style testing of the compiler passes: random affine nests with
+// stencil-shaped references, occasional opaque statements, and random
+// nesting. Generation is deterministic per seed.
+package irgen
+
+import (
+	"fmt"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// rng is a tiny deterministic generator (xorshift64*).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Config bounds the generated programs.
+type Config struct {
+	// MaxTopLevel bounds the number of top-level nests.
+	MaxTopLevel int
+	// MaxDepth bounds nest depth.
+	MaxDepth int
+	// MaxExtent bounds loop trip counts.
+	MaxExtent int
+	// Arrays is how many arrays the program shares.
+	Arrays int
+	// OpaquePercent is the chance (0-100) a statement is opaque.
+	OpaquePercent int
+}
+
+// Default returns bounds that keep interpretation fast (a few thousand
+// accesses).
+func Default() Config {
+	return Config{MaxTopLevel: 4, MaxDepth: 3, MaxExtent: 9, Arrays: 4, OpaquePercent: 25}
+}
+
+// Program generates a random valid program. The same seed always yields
+// the same program (including array addresses).
+func Program(seed uint64, cfg Config) *loopir.Program {
+	if seed == 0 {
+		seed = 1
+	}
+	r := &rng{s: seed}
+	sp := mem.NewSpace()
+	arrays := make([]*mem.Array, cfg.Arrays)
+	for i := range arrays {
+		// Extents comfortably above the maximum loop trip count plus
+		// offset, so every generated affine subscript stays in bounds.
+		d0 := cfg.MaxExtent + 3 + r.intn(8)
+		d1 := cfg.MaxExtent + 3 + r.intn(8)
+		arrays[i] = mem.NewArray(sp, fmt.Sprintf("A%d", i), 8, d0, d1)
+		arrays[i].EnsureData()
+	}
+	g := &gen{r: r, cfg: cfg, arrays: arrays}
+	prog := &loopir.Program{Name: fmt.Sprintf("random-%d", seed)}
+	n := 1 + r.intn(cfg.MaxTopLevel)
+	for i := 0; i < n; i++ {
+		prog.Body = append(prog.Body, g.nest(0))
+	}
+	if err := loopir.Validate(prog); err != nil {
+		panic(fmt.Sprintf("irgen: generated invalid program: %v", err))
+	}
+	return prog
+}
+
+type gen struct {
+	r      *rng
+	cfg    Config
+	arrays []*mem.Array
+	nextID int
+}
+
+func (g *gen) freshVar() string {
+	g.nextID++
+	return fmt.Sprintf("v%d", g.nextID)
+}
+
+// nest builds a random loop nest of depth >= 1.
+func (g *gen) nest(depth int) loopir.Node {
+	v := g.freshVar()
+	extent := 2 + g.r.intn(g.cfg.MaxExtent)
+	loop := &loopir.Loop{
+		Var:  v,
+		Lo:   loopir.ConstExpr(0),
+		Hi:   loopir.ConstExpr(extent),
+		Step: 1,
+	}
+	switch {
+	case depth+1 < g.cfg.MaxDepth && g.r.intn(100) < 60:
+		loop.Body = []loopir.Node{g.nestWithVars(depth+1, []string{v})}
+	default:
+		loop.Body = []loopir.Node{g.stmt([]string{v})}
+	}
+	return loop
+}
+
+func (g *gen) nestWithVars(depth int, vars []string) loopir.Node {
+	v := g.freshVar()
+	extent := 2 + g.r.intn(g.cfg.MaxExtent)
+	loop := &loopir.Loop{
+		Var:  v,
+		Lo:   loopir.ConstExpr(0),
+		Hi:   loopir.ConstExpr(extent),
+		Step: 1,
+	}
+	vars = append(vars, v)
+	if depth+1 < g.cfg.MaxDepth && g.r.intn(100) < 50 {
+		loop.Body = []loopir.Node{g.nestWithVars(depth+1, vars)}
+	} else {
+		loop.Body = []loopir.Node{g.stmt(vars)}
+	}
+	return loop
+}
+
+// stmt builds a statement whose affine references use the loop variables in
+// scope, modulo the arrays' extents so interpretation stays in bounds.
+func (g *gen) stmt(vars []string) *loopir.Stmt {
+	if g.r.intn(100) < g.cfg.OpaquePercent {
+		a := g.arrays[g.r.intn(len(g.arrays))]
+		stride := 1 + g.r.intn(7)
+		return &loopir.Stmt{
+			Name: "opaque",
+			Refs: []loopir.Ref{loopir.OpaqueRef(loopir.ClassIndexed, a, g.r.intn(2) == 0)},
+			Run: func(ctx *loopir.Ctx) {
+				ctx.Compute(2)
+				sum := 0
+				for _, v := range vars {
+					sum += ctx.V(v)
+				}
+				ctx.Load(a, (sum*stride)%a.Dims[0], sum%a.Dims[1])
+			},
+		}
+	}
+	nrefs := 1 + g.r.intn(4)
+	refs := make([]loopir.Ref, 0, nrefs)
+	for i := 0; i < nrefs; i++ {
+		a := g.arrays[g.r.intn(len(g.arrays))]
+		refs = append(refs, loopir.AffineRef(a, i == 0 && g.r.intn(2) == 0,
+			g.sub(vars, a.Dims[0]), g.sub(vars, a.Dims[1])))
+	}
+	return &loopir.Stmt{Name: "s", Refs: refs, Compute: 1 + g.r.intn(4)}
+}
+
+// sub builds a bounded affine subscript: either a constant or one loop
+// variable with a small offset, clamped into [0, extent) by construction
+// (variables range over extents <= MaxExtent+1 and arrays have extents
+// >= MaxExtent+3 minus offsets).
+func (g *gen) sub(vars []string, extent int) loopir.Expr {
+	if g.r.intn(100) < 25 {
+		return loopir.ConstExpr(g.r.intn(extent))
+	}
+	v := vars[g.r.intn(len(vars))]
+	// Loop extents are at most MaxExtent+1, so an offset keeps the
+	// subscript within arrays of extent >= MaxExtent+3 when offset <= 1.
+	off := 0
+	if g.r.intn(100) < 40 && extent > g.cfg.MaxExtent+2 {
+		off = g.r.intn(2)
+	}
+	return loopir.AxPlusB(1, v, off)
+}

@@ -1,0 +1,58 @@
+package irgen
+
+import (
+	"testing"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+func TestProgramsValidAndDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		a := Program(seed, Default())
+		if err := loopir.Validate(a); err != nil {
+			t.Fatalf("seed %d: invalid program: %v", seed, err)
+		}
+		b := Program(seed, Default())
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		var ca, cb mem.CountingEmitter
+		loopir.Run(a, &ca)
+		loopir.Run(b, &cb)
+		if ca != cb {
+			t.Fatalf("seed %d: traces differ", seed)
+		}
+		if ca.Accesses() == 0 {
+			t.Fatalf("seed %d: empty program", seed)
+		}
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	a := Program(0, Default())
+	b := Program(1, Default())
+	if a.String() != b.String() {
+		t.Fatal("seed 0 not remapped to 1")
+	}
+}
+
+func TestOpaqueMix(t *testing.T) {
+	cfg := Default()
+	cfg.OpaquePercent = 100
+	allOpaque := true
+	for _, s := range loopir.Stmts(Program(7, cfg).Body) {
+		if !s.Opaque() {
+			allOpaque = false
+		}
+	}
+	if !allOpaque {
+		t.Fatal("OpaquePercent=100 produced analyzable statements")
+	}
+	cfg.OpaquePercent = 0
+	for _, s := range loopir.Stmts(Program(7, cfg).Body) {
+		if s.Opaque() {
+			t.Fatal("OpaquePercent=0 produced opaque statements")
+		}
+	}
+}

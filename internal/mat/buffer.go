@@ -1,0 +1,79 @@
+package mat
+
+import (
+	"selcache/internal/cache"
+	"selcache/internal/mem"
+)
+
+// BufferStats counts bypass-buffer activity.
+type BufferStats struct {
+	Probes    uint64
+	Hits      uint64
+	Fills     uint64
+	DirtyEvts uint64
+}
+
+// Buffer is the bypass buffer: a small fully-associative cache of 8-byte
+// double words with LRU replacement. Bypassed fetches land here instead of
+// in the L1 cache, so infrequently used data never displaces frequently
+// used lines.
+type Buffer struct {
+	fa *cache.FA
+	// Stats accumulates probe/hit/fill counters.
+	Stats BufferStats
+}
+
+// dwordBits is log2 of the double-word size.
+const dwordBits = 3
+
+// NewBuffer builds a bypass buffer with the given double-word capacity.
+func NewBuffer(words int) *Buffer {
+	return &Buffer{fa: cache.NewFA(words)}
+}
+
+// Probe looks up the double word containing a, refreshing recency and
+// recording a store's dirty bit on a hit.
+func (b *Buffer) Probe(a mem.Addr, write bool) bool {
+	b.Stats.Probes++
+	_, hit := b.fa.Probe(uint64(a)>>dwordBits, write)
+	if hit {
+		b.Stats.Hits++
+	}
+	return hit
+}
+
+// Fill installs the double word containing a after a bypassed fetch. It
+// reports whether a dirty double word was displaced (requiring a
+// write-back).
+func (b *Buffer) Fill(a mem.Addr, dirty bool) (writeback bool) {
+	b.Stats.Fills++
+	_, evDirty, ev := b.fa.Insert(uint64(a)>>dwordBits, dirty)
+	if ev && evDirty {
+		b.Stats.DirtyEvts++
+		return true
+	}
+	return false
+}
+
+// FillSpan installs span double words starting at the referenced one (and
+// never crossing the blockBytes-aligned boundary) — the larger fetch size
+// used when the SLDT expects spatial locality for bypassed data. Only the
+// referenced double word carries the store's dirty bit. It returns the
+// number of dirty double words displaced.
+func (b *Buffer) FillSpan(a mem.Addr, dirty bool, span, blockBytes int) (writebacks int) {
+	hot := uint64(a) >> dwordBits
+	limit := (uint64(a)&^(uint64(blockBytes)-1) + uint64(blockBytes)) >> dwordBits
+	for w := 0; w < span && hot+uint64(w) < limit; w++ {
+		key := hot + uint64(w)
+		b.Stats.Fills++
+		_, evDirty, ev := b.fa.Insert(key, dirty && key == hot)
+		if ev && evDirty {
+			b.Stats.DirtyEvts++
+			writebacks++
+		}
+	}
+	return writebacks
+}
+
+// Len returns the number of resident double words.
+func (b *Buffer) Len() int { return b.fa.Len() }

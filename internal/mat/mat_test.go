@@ -1,0 +1,284 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"selcache/internal/mem"
+)
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Entries = 64
+	c.MacroBlock = 256
+	c.AgePeriod = 0
+	return c
+}
+
+func TestTableCounting(t *testing.T) {
+	tab := NewTable(testConfig())
+	a := mem.Addr(0x1000)
+	// Five accesses across three 32-byte blocks of one macro-block:
+	// counting is block-granular, so same-block re-touches do not count.
+	for _, off := range []int{0, 8, 32, 40, 64} {
+		tab.Touch(a + mem.Addr(off))
+	}
+	if got := tab.Counter(a); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if got := tab.Counter(a + 0x100); got != 0 {
+		t.Fatalf("neighbour macro counter = %d, want 0", got)
+	}
+}
+
+// touchN bumps the macro-block counter of a by n by alternating between two
+// blocks (block-granular counting requires block changes).
+func touchN(tab *Table, a mem.Addr, n int) {
+	for i := 0; i < n; i++ {
+		tab.Touch(a + mem.Addr(i%2*32))
+	}
+}
+
+func TestTableSaturation(t *testing.T) {
+	cfg := testConfig()
+	cfg.CounterMax = 3
+	tab := NewTable(cfg)
+	touchN(tab, 0x1000, 10)
+	if got := tab.Counter(0x1000); got != 3 {
+		t.Fatalf("saturated counter = %d, want 3", got)
+	}
+}
+
+func TestTableTagReplacement(t *testing.T) {
+	cfg := testConfig()
+	tab := NewTable(cfg)
+	a := mem.Addr(0x1000)
+	// Aliases a in the direct-mapped table: same index bits, different tag.
+	alias := a + mem.Addr(cfg.Entries*cfg.MacroBlock)
+	tab.Touch(a)
+	tab.Touch(a)
+	tab.Touch(alias)
+	if got := tab.Counter(a); got != 0 {
+		t.Fatalf("replaced macro still reports counter %d", got)
+	}
+	if got := tab.Counter(alias); got != 1 {
+		t.Fatalf("alias counter = %d, want 1", got)
+	}
+	if tab.Stats.TagReplaces < 1 {
+		t.Fatal("no tag replacement recorded")
+	}
+}
+
+func TestTableAging(t *testing.T) {
+	cfg := testConfig()
+	cfg.AgePeriod = 10
+	tab := NewTable(cfg)
+	touchN(tab, 0x1000, 9)
+	if got := tab.Counter(0x1000); got != 9 {
+		t.Fatalf("pre-age counter = %d", got)
+	}
+	tab.Touch(0x1000 + 2*32) // 10th touch triggers aging after the increment
+	if got := tab.Counter(0x1000); got != 5 {
+		t.Fatalf("post-age counter = %d, want 5", got)
+	}
+	if tab.Stats.Agings != 1 {
+		t.Fatalf("agings = %d", tab.Stats.Agings)
+	}
+}
+
+func TestShouldBypass(t *testing.T) {
+	cfg := testConfig()
+	cfg.BypassRatio = 4
+	cfg.ColdMax = 48
+	cfg.ColdMaxSparse = 16
+	tab := NewTable(cfg)
+	cold := mem.Addr(0x1000)
+	hot := mem.Addr(0x2000)
+	touchN(tab, hot, 300)
+	// No valid victim: never bypass.
+	if tab.ShouldBypass(cold, hot, false, true) {
+		t.Fatal("bypassed with invalid victim")
+	}
+	// Cold vs hot victim: bypass under both ceilings.
+	if !tab.ShouldBypass(cold, hot, true, true) {
+		t.Fatal("spatial cold data not bypassed")
+	}
+	if !tab.ShouldBypass(cold, hot, true, false) {
+		t.Fatal("sparse cold data not bypassed")
+	}
+	// Warm the miss macro past the sparse ceiling but under the spatial
+	// one.
+	touchN(tab, cold, 20)
+	if tab.ShouldBypass(cold, hot, true, false) {
+		t.Fatal("sparse ceiling did not suppress bypass")
+	}
+	if !tab.ShouldBypass(cold, hot, true, true) {
+		t.Fatal("spatial ceiling wrongly suppressed bypass")
+	}
+	// Past the spatial ceiling too.
+	touchN(tab, cold, 60)
+	if tab.ShouldBypass(cold, hot, true, true) {
+		t.Fatal("hot data bypassed")
+	}
+}
+
+func TestShouldBypassRatio(t *testing.T) {
+	cfg := testConfig()
+	cfg.BypassRatio = 4
+	cfg.ColdMax = 1000
+	cfg.ColdMaxSparse = 1000
+	tab := NewTable(cfg)
+	a, b := mem.Addr(0x1000), mem.Addr(0x2000)
+	touchN(tab, a, 10)
+	touchN(tab, b, 39)
+	// 10*4 = 40 > 39: not cold enough relative to victim.
+	if tab.ShouldBypass(a, b, true, true) {
+		t.Fatal("ratio test failed: bypassed at 10 vs 39")
+	}
+	tab.Touch(b + 3*32) // now 40
+	if tab.ShouldBypass(a, b, true, true) {
+		t.Fatal("ratio test failed: 10*4 < 40 is false")
+	}
+	tab.Touch(b + 4*32) // 41
+	if !tab.ShouldBypass(a, b, true, true) {
+		t.Fatal("ratio test failed: 10*4 < 41 should bypass")
+	}
+}
+
+func TestSLDTDetectsForwardStream(t *testing.T) {
+	cfg := testConfig()
+	s := NewSLDT(cfg, 32)
+	base := mem.Addr(0x4000)
+	for i := 0; i < 4*32; i += 8 { // walk 4 blocks word by word
+		s.Observe(base + mem.Addr(i))
+	}
+	if !s.Spatial(base + 4*32) {
+		t.Fatal("forward stream not detected as spatial")
+	}
+}
+
+func TestSLDTRejectsRandomPattern(t *testing.T) {
+	cfg := testConfig()
+	s := NewSLDT(cfg, 32)
+	base := mem.Addr(0x4000)
+	// Jump around within one macro-block in a non-sequential pattern.
+	for _, off := range []int{0, 128, 32, 224, 96, 192, 0, 160} {
+		s.Observe(base + mem.Addr(off))
+	}
+	if s.Spatial(base) {
+		t.Fatal("random pattern detected as spatial")
+	}
+}
+
+func TestSLDTBackwardStream(t *testing.T) {
+	cfg := testConfig()
+	s := NewSLDT(cfg, 32)
+	base := mem.Addr(0x4000)
+	for i := 7; i >= 0; i-- {
+		s.Observe(base + mem.Addr(i*32))
+	}
+	if !s.Spatial(base) {
+		t.Fatal("backward stream not detected as spatial")
+	}
+}
+
+func TestSLDTTagReplacementResets(t *testing.T) {
+	cfg := testConfig()
+	s := NewSLDT(cfg, 32)
+	base := mem.Addr(0x4000)
+	for i := 0; i < 8; i++ {
+		s.Observe(base + mem.Addr(i*32))
+	}
+	alias := base + mem.Addr(cfg.SLDTEntries*cfg.MacroBlock)
+	s.Observe(alias)
+	if s.Spatial(alias) {
+		t.Fatal("fresh entry inherits spatial state")
+	}
+}
+
+func TestBufferProbeFill(t *testing.T) {
+	b := NewBuffer(4)
+	if b.Probe(0x100, false) {
+		t.Fatal("cold probe hit")
+	}
+	b.Fill(0x100, false)
+	if !b.Probe(0x100, false) || !b.Probe(0x107, false) {
+		t.Fatal("same-dword probes missed")
+	}
+	if b.Probe(0x108, false) {
+		t.Fatal("next dword hit")
+	}
+}
+
+func TestBufferDirtyWriteback(t *testing.T) {
+	b := NewBuffer(2)
+	b.Fill(0x100, true)
+	b.Fill(0x108, false)
+	if wb := b.Fill(0x110, false); !wb {
+		t.Fatal("dirty LRU eviction not reported")
+	}
+	if b.Stats.DirtyEvts != 1 {
+		t.Fatalf("dirty evictions %d", b.Stats.DirtyEvts)
+	}
+}
+
+func TestBufferFillSpan(t *testing.T) {
+	b := NewBuffer(16)
+	// Fill from the middle of a 32-byte block: span must stop at the
+	// block boundary.
+	b.FillSpan(0x110, false, 4, 32)
+	if !b.Probe(0x110, false) || !b.Probe(0x118, false) {
+		t.Fatal("span dwords missing")
+	}
+	if b.Probe(0x120, false) {
+		t.Fatal("span crossed block boundary")
+	}
+	if b.Probe(0x108, false) {
+		t.Fatal("span extended backwards")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Entries: 3, MacroBlock: 256, BlockBytes: 32, SLDTEntries: 4, BufferWords: 4, CounterMax: 1},
+		{Entries: 4, MacroBlock: 300, BlockBytes: 32, SLDTEntries: 4, BufferWords: 4, CounterMax: 1},
+		{Entries: 4, MacroBlock: 256, BlockBytes: 24, SLDTEntries: 4, BufferWords: 4, CounterMax: 1},
+		{Entries: 4, MacroBlock: 256, BlockBytes: 32, SLDTEntries: 5, BufferWords: 4, CounterMax: 1},
+		{Entries: 4, MacroBlock: 256, BlockBytes: 32, SLDTEntries: 4, BufferWords: 0, CounterMax: 1},
+		{Entries: 4, MacroBlock: 256, BlockBytes: 32, SLDTEntries: 4, BufferWords: 4, CounterMax: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: expected panic", i)
+				}
+			}()
+			NewTable(cfg)
+		}()
+	}
+}
+
+// Property: the counter never exceeds CounterMax, under any touch sequence.
+func TestCounterBounded(t *testing.T) {
+	f := func(touches []uint16) bool {
+		cfg := testConfig()
+		cfg.CounterMax = 100
+		cfg.AgePeriod = 37
+		tab := NewTable(cfg)
+		for _, x := range touches {
+			tab.Touch(mem.Addr(x) * 8)
+		}
+		_ = touches
+		for _, x := range touches {
+			if tab.Counter(mem.Addr(x)*8) > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

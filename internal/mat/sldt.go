@@ -1,0 +1,90 @@
+package mat
+
+import (
+	"math/bits"
+
+	"selcache/internal/mem"
+)
+
+type sldtEntry struct {
+	tag       uint64
+	lastBlock uint64
+	counter   int8
+	valid     bool
+}
+
+const (
+	sldtCounterMax = 7
+	sldtCounterMin = -8
+)
+
+// SLDT is the Spatial Locality Detection Table: a small direct-mapped table
+// with one entry per recently active macro-block. Each entry remembers the
+// last cache block touched within the macro-block and keeps a saturating
+// spatial counter that is incremented on a spatial hit (the next access
+// lands in an adjacent block) and decremented on a spatial miss (a jump
+// within the macro-block). A macro-block whose counter reaches the spatial
+// threshold is predicted spatially local, which steers the controller
+// toward caching it with a larger fetch size instead of bypassing.
+type SLDT struct {
+	cfg       Config
+	blockBits uint
+	macroBits uint
+	mask      uint64
+	entries   []sldtEntry
+	// Stats shares the mechanism counters (SpatialYes/SpatialNo).
+	Stats Stats
+}
+
+// NewSLDT builds an SLDT for a cache with blockSize-byte lines.
+func NewSLDT(cfg Config, blockSize int) *SLDT {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &SLDT{
+		cfg:       cfg,
+		blockBits: uint(bits.TrailingZeros(uint(blockSize))),
+		macroBits: uint(bits.TrailingZeros(uint(cfg.MacroBlock))),
+		mask:      uint64(cfg.SLDTEntries - 1),
+		entries:   make([]sldtEntry, cfg.SLDTEntries),
+	}
+}
+
+// Observe records one access and updates the spatial counter of the
+// enclosing macro-block.
+func (s *SLDT) Observe(a mem.Addr) {
+	m := uint64(a) >> s.macroBits
+	b := uint64(a) >> s.blockBits
+	e := &s.entries[m&s.mask]
+	if !e.valid || e.tag != m {
+		*e = sldtEntry{tag: m, lastBlock: b, counter: 0, valid: true}
+		return
+	}
+	switch {
+	case b == e.lastBlock:
+		// Same block: temporal, not evidence either way.
+	case b == e.lastBlock+1 || b == e.lastBlock-1:
+		if e.counter < sldtCounterMax {
+			e.counter++
+		}
+	default:
+		if e.counter > sldtCounterMin {
+			e.counter--
+		}
+	}
+	e.lastBlock = b
+}
+
+// Spatial reports whether the macro-block containing a is currently
+// predicted spatially local.
+func (s *SLDT) Spatial(a mem.Addr) bool {
+	m := uint64(a) >> s.macroBits
+	e := &s.entries[m&s.mask]
+	ok := e.valid && e.tag == m && e.counter >= s.cfg.SpatialThreshold
+	if ok {
+		s.Stats.SpatialYes++
+	} else {
+		s.Stats.SpatialNo++
+	}
+	return ok
+}

@@ -1,0 +1,136 @@
+// Package mem provides the simulated virtual address space that every
+// workload in this repository executes against.
+//
+// Workloads do not touch real memory: they allocate arrays and scalars from
+// a Space and *emit* the loads and stores they would perform to an Emitter
+// (usually the cache-hierarchy simulator in internal/sim). Arrays carry an
+// explicit dimension order so that the compiler's data-layout transformations
+// (internal/opt) can change the memory layout of an array without touching
+// the code that indexes it, exactly as a layout-transforming compiler would.
+package mem
+
+import "fmt"
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// Emitter consumes the dynamic event stream of a simulated program run:
+// memory accesses, bursts of non-memory instructions, and the special
+// activate/deactivate instructions that gate the hardware locality
+// optimization at run time.
+//
+// The cache simulator implements Emitter; tests frequently implement it with
+// small recording sinks.
+type Emitter interface {
+	// Access simulates one load (write=false) or store (write=true) of
+	// size bytes at addr. Size is a power of two no larger than 8.
+	Access(addr Addr, size uint8, write bool)
+
+	// Compute accounts for n non-memory instructions (ALU, branches,
+	// address arithmetic). It advances simulated time but touches no
+	// cache state.
+	Compute(n int)
+
+	// Marker simulates an activate (on=true) or deactivate (on=false)
+	// instruction for the hardware optimization mechanism. It costs one
+	// instruction slot.
+	Marker(on bool)
+}
+
+// CountingEmitter is a trivial Emitter that tallies events. It is useful in
+// tests and for cheap dry runs (for example, instruction counting without
+// cache simulation).
+type CountingEmitter struct {
+	Reads, Writes uint64
+	Instructions  uint64
+	Markers       uint64
+	OnMarkers     uint64
+}
+
+// Access implements Emitter.
+func (c *CountingEmitter) Access(_ Addr, _ uint8, write bool) {
+	if write {
+		c.Writes++
+	} else {
+		c.Reads++
+	}
+	c.Instructions++
+}
+
+// Compute implements Emitter.
+func (c *CountingEmitter) Compute(n int) { c.Instructions += uint64(n) }
+
+// Marker implements Emitter.
+func (c *CountingEmitter) Marker(on bool) {
+	c.Markers++
+	if on {
+		c.OnMarkers++
+	}
+	c.Instructions++
+}
+
+// Accesses returns the total number of memory accesses recorded.
+func (c *CountingEmitter) Accesses() uint64 { return c.Reads + c.Writes }
+
+// Space is an allocator for the simulated virtual address space.
+//
+// The zero value is not ready for use; call NewSpace. Allocations never
+// overlap and never straddle address zero, so a zero Addr can be used as a
+// sentinel. Between allocations the allocator inserts deterministic
+// pseudo-random page-granular gaps, mimicking the scattered layout a real
+// process image has (separate mmap regions, heap fragmentation). The
+// scatter matters for fidelity: hardware structures indexed by physical
+// address bits — cache sets, the MAT's direct-mapped macro-block entries,
+// TLB sets — alias between regions in real runs, and a dense bump layout
+// would hide that.
+type Space struct {
+	next Addr
+	seq  uint64
+}
+
+// spaceBase is the first allocatable address. Keeping it well above zero
+// makes accidental zero-address accesses detectable and mirrors the layout
+// of a real process image.
+const spaceBase Addr = 0x0001_0000
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{next: spaceBase}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns the
+// base address. Alloc panics on a non-positive size or a non-power-of-two
+// alignment, since both indicate a workload construction bug.
+func (s *Space) Alloc(size int, align int) Addr {
+	if size <= 0 {
+		panic(fmt.Sprintf("mem: Alloc size %d", size))
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: Alloc align %d not a power of two", align))
+	}
+	// Deterministic scatter: 0–96 pages of slack per allocation.
+	s.seq = s.seq*6364136223846793005 + 1442695040888963407
+	gap := Addr((s.seq >> 33) % 97 * 4096)
+	s.next += gap
+	a := Addr(align)
+	s.next = (s.next + a - 1) &^ (a - 1)
+	base := s.next
+	s.next += Addr(size)
+	return base
+}
+
+// Used reports the number of bytes allocated so far.
+func (s *Space) Used() uint64 { return uint64(s.next - spaceBase) }
+
+// Scalar is a named scalar variable with a fixed address. Scalars are always
+// analyzable references in the compiler's classification.
+type Scalar struct {
+	Name string
+	Addr Addr
+	Size uint8
+}
+
+// NewScalar allocates a scalar of size bytes in s.
+func NewScalar(s *Space, name string, size uint8) *Scalar {
+	return &Scalar{Name: name, Addr: s.Alloc(int(size), int(size)), Size: size}
+}

@@ -1,0 +1,194 @@
+package opt
+
+import "selcache/internal/loopir"
+
+// dependence summarizes a uniform (constant-distance) dependence between
+// two references to the same array, expressed as a distance per loop
+// variable of the nest (outermost first). exact is false when the distance
+// could not be determined, which forbids reordering.
+type dependence struct {
+	dist  []int
+	exact bool
+}
+
+// nestDependences computes the uniform dependence distance vectors among
+// the nest's references. Two references to the same array, at least one a
+// write, form a dependence. The distance is computable when the references
+// have identical coefficient structure in every subscript and each
+// subscript uses at most one nest variable with coefficient ±1 (the common
+// stencil shape); any other same-array write pair yields an inexact
+// dependence that blocks interchange.
+func nestDependences(n *Nest) []dependence {
+	vars := n.Vars()
+	pos := map[string]int{}
+	for i, v := range vars {
+		pos[v] = i
+	}
+	refs := n.Refs()
+	var deps []dependence
+	for i := 0; i < len(refs); i++ {
+		for j := i; j < len(refs); j++ {
+			a, b := refs[i], refs[j]
+			if a.Class != loopir.ClassAffine || b.Class != loopir.ClassAffine {
+				continue
+			}
+			if a.Array != b.Array || (!a.Write && !b.Write) {
+				continue
+			}
+			if i == j {
+				continue
+			}
+			d, ok := refDistance(a, b, pos, len(vars))
+			if ok {
+				normalize(d)
+			}
+			deps = append(deps, dependence{dist: d, exact: ok})
+		}
+	}
+	return deps
+}
+
+// normalize flips a distance vector whose leading non-zero is negative:
+// the genuine dependence flows from the earlier iteration to the later one,
+// so a lexicographically negative vector describes the same pair with
+// source and sink swapped.
+func normalize(d []int) {
+	for _, v := range d {
+		if v > 0 {
+			return
+		}
+		if v < 0 {
+			for i := range d {
+				d[i] = -d[i]
+			}
+			return
+		}
+	}
+}
+
+// refDistance computes the per-variable distance between two same-array
+// references, when exactly determinable.
+func refDistance(a, b loopir.Ref, pos map[string]int, nvars int) ([]int, bool) {
+	dist := make([]int, nvars)
+	seen := make([]bool, nvars)
+	for s := range a.Subs {
+		sa, sb := a.Subs[s], b.Subs[s]
+		// Same coefficient structure required.
+		if len(sa.Terms) != len(sb.Terms) {
+			return nil, false
+		}
+		for t := range sa.Terms {
+			if sa.Terms[t] != sb.Terms[t] {
+				return nil, false
+			}
+		}
+		diff := sa.Const - sb.Const
+		switch len(sa.Terms) {
+		case 0:
+			if diff != 0 {
+				// Distinct constant elements: no dependence at all;
+				// treat as zero distance in no variable — the pair can
+				// never conflict, so skip it entirely.
+				return make([]int, nvars), true
+			}
+		case 1:
+			t := sa.Terms[0]
+			vi, inNest := pos[t.Var]
+			if !inNest {
+				if diff != 0 {
+					return nil, false
+				}
+				continue
+			}
+			if t.Coeff != 1 && t.Coeff != -1 {
+				if diff == 0 {
+					continue
+				}
+				return nil, false
+			}
+			d := diff * t.Coeff // i_a - i_b such that subscripts match
+			if seen[vi] && dist[vi] != -d {
+				return nil, false
+			}
+			dist[vi] = -d
+			seen[vi] = true
+		default:
+			if diff != 0 {
+				return nil, false
+			}
+		}
+	}
+	return dist, true
+}
+
+// permutationLegal reports whether applying perm (perm[k] = original loop
+// index placed at position k) keeps every dependence lexicographically
+// non-negative.
+func permutationLegal(deps []dependence, perm []int) bool {
+	for _, d := range deps {
+		if !d.exact {
+			// Unknown dependence: only the identity is safe.
+			for k, p := range perm {
+				if k != p {
+					return false
+				}
+			}
+			return true
+		}
+		sign := 0
+		for _, k := range perm {
+			v := d.dist[k]
+			if v != 0 {
+				sign = v
+				break
+			}
+		}
+		if sign < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Interchange permutes the nest to place the loop at index best innermost,
+// preserving the relative order of the remaining loops, if dependences
+// allow. It returns true when a permutation was applied.
+func Interchange(n *Nest, best int) bool {
+	d := n.Depth()
+	if best == d-1 {
+		return false
+	}
+	perm := make([]int, 0, d)
+	for i := 0; i < d; i++ {
+		if i != best {
+			perm = append(perm, i)
+		}
+	}
+	perm = append(perm, best)
+	if !permutationLegal(nestDependences(n), perm) {
+		return false
+	}
+	applyPermutation(n, perm)
+	return true
+}
+
+// applyPermutation rewires the loop headers according to perm. Because
+// analyzable nests are rectangular (bounds independent of sibling loops),
+// permuting the headers while keeping the body chain intact is sufficient.
+func applyPermutation(n *Nest, perm []int) {
+	type header struct {
+		v    string
+		lo   loopir.Expr
+		hi   loopir.Expr
+		cp   *loopir.Expr
+		step int
+	}
+	hs := make([]header, n.Depth())
+	for i, l := range n.Loops {
+		hs[i] = header{v: l.Var, lo: l.Lo, hi: l.Hi, cp: l.Cap, step: l.Step}
+	}
+	for k, l := range n.Loops {
+		h := hs[perm[k]]
+		l.Var, l.Lo, l.Hi, l.Cap, l.Step = h.v, h.lo, h.hi, h.cp, h.step
+	}
+}

@@ -1,0 +1,115 @@
+package opt
+
+import (
+	"sort"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// LayoutPlan accumulates, across every analyzable nest of a program, votes
+// for which logical dimension of each array should be fastest-varying in
+// memory. A vote's weight is the iteration volume of the nest casting it,
+// so hot loops dominate. Arrays referenced by any non-analyzable statement
+// are ineligible: the compiler cannot see how opaque code computes their
+// addresses, so their layout must stay fixed (the paper's data
+// transformations are likewise restricted to statically analyzable
+// references).
+type LayoutPlan struct {
+	votes      map[*mem.Array]map[int]int64
+	ineligible map[*mem.Array]bool
+}
+
+// NewLayoutPlan scans the whole program to determine eligibility.
+func NewLayoutPlan(p *loopir.Program) *LayoutPlan {
+	lp := &LayoutPlan{
+		votes:      map[*mem.Array]map[int]int64{},
+		ineligible: map[*mem.Array]bool{},
+	}
+	for _, s := range loopir.Stmts(p.Body) {
+		for _, r := range s.Refs {
+			if r.Array == nil {
+				continue
+			}
+			if s.Opaque() || !r.Class.Analyzable() {
+				lp.ineligible[r.Array] = true
+			}
+		}
+	}
+	return lp
+}
+
+// Eligible reports whether ref's array layout may be changed.
+func (lp *LayoutPlan) Eligible(ref loopir.Ref) bool {
+	if ref.Array == nil || len(ref.Array.Dims) < 2 {
+		return false
+	}
+	return !lp.ineligible[ref.Array]
+}
+
+// Vote records the nest's preference after its innermost loop is final:
+// each affine reference whose innermost-variable subscript sits in a single
+// dimension asks for that dimension to be fastest-varying.
+func (lp *LayoutPlan) Vote(n *Nest) {
+	inner := n.Innermost().Var
+	weight := n.Volume(1 << 10)
+	for _, ref := range n.Refs() {
+		if ref.Class != loopir.ClassAffine || !lp.Eligible(ref) {
+			continue
+		}
+		kind, dim, stride := refReuse(ref, inner)
+		if kind != ReuseSpatial || stride != 1 {
+			continue
+		}
+		m := lp.votes[ref.Array]
+		if m == nil {
+			m = map[int]int64{}
+			lp.votes[ref.Array] = m
+		}
+		m[dim] += weight
+	}
+}
+
+// Apply installs the winning layout for every voted array and returns the
+// number of arrays whose dimension order actually changed.
+func (lp *LayoutPlan) Apply() int {
+	// Deterministic iteration order: sort by array name.
+	arrays := make([]*mem.Array, 0, len(lp.votes))
+	for a := range lp.votes {
+		arrays = append(arrays, a)
+	}
+	sort.Slice(arrays, func(i, j int) bool { return arrays[i].Name < arrays[j].Name })
+
+	changed := 0
+	for _, a := range arrays {
+		m := lp.votes[a]
+		bestDim, bestW := -1, int64(0)
+		dims := make([]int, 0, len(m))
+		for d := range m {
+			dims = append(dims, d)
+		}
+		sort.Ints(dims)
+		for _, d := range dims {
+			if m[d] > bestW {
+				bestDim, bestW = d, m[d]
+			}
+		}
+		if bestDim < 0 {
+			continue
+		}
+		cur := a.Order()
+		if cur[len(cur)-1] == bestDim {
+			continue
+		}
+		order := make([]int, 0, len(cur))
+		for _, d := range cur {
+			if d != bestDim {
+				order = append(order, d)
+			}
+		}
+		order = append(order, bestDim)
+		a.SetOrder(order)
+		changed++
+	}
+	return changed
+}

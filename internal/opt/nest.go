@@ -1,0 +1,181 @@
+// Package opt implements the compiler-side locality optimizations of the
+// paper's Section 3.2: reuse-driven loop interchange, memory-layout
+// selection per array (data transformations), iteration-space tiling, and
+// unroll-and-jam with scalar replacement. All passes operate on the loopir
+// representation and only touch analyzable code: loops whose statements are
+// non-opaque and whose references are all scalar or affine. Everything else
+// is, by construction, the hardware mechanism's problem.
+package opt
+
+import (
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// Nest is a perfectly nested chain of loops: each loop's body is exactly
+// its successor, and the innermost loop's body is straight-line statements.
+type Nest struct {
+	// Loops is ordered outermost first.
+	Loops []*loopir.Loop
+	// owner is the body slice containing the outermost loop, and idx its
+	// position, so transformations can replace the whole nest.
+	owner []loopir.Node
+	idx   int
+}
+
+// Innermost returns the innermost loop.
+func (n *Nest) Innermost() *loopir.Loop { return n.Loops[len(n.Loops)-1] }
+
+// Depth returns the nesting depth.
+func (n *Nest) Depth() int { return len(n.Loops) }
+
+// Stmts returns the innermost loop's statements.
+func (n *Nest) Stmts() []*loopir.Stmt {
+	var out []*loopir.Stmt
+	for _, node := range n.Innermost().Body {
+		if s, ok := node.(*loopir.Stmt); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Refs returns every reference in the innermost body.
+func (n *Nest) Refs() []loopir.Ref { return loopir.Refs(n.Innermost().Body) }
+
+// Vars returns the loop variables, outermost first.
+func (n *Nest) Vars() []string {
+	vs := make([]string, len(n.Loops))
+	for i, l := range n.Loops {
+		vs[i] = l.Var
+	}
+	return vs
+}
+
+// replace substitutes a new outermost node for the nest in its owner body.
+func (n *Nest) replace(node loopir.Node) { n.owner[n.idx] = node }
+
+// Analyzable reports whether the compiler may transform the nest: no opaque
+// statements, every reference analyzable, rectangular bounds (no loop's
+// bounds depend on another loop in the nest), positive unit steps, and a
+// preference that is not hardware (region detection hands hardware regions
+// to the run-time mechanism untouched).
+func (n *Nest) Analyzable() bool {
+	if n.Loops[0].Pref == loopir.PrefHardware {
+		return false
+	}
+	vars := map[string]bool{}
+	for _, l := range n.Loops {
+		vars[l.Var] = true
+	}
+	for _, l := range n.Loops {
+		if l.Step != 1 || l.Cap != nil {
+			return false
+		}
+		for _, v := range append(l.Lo.Vars(), l.Hi.Vars()...) {
+			if vars[v] {
+				return false
+			}
+		}
+	}
+	for _, s := range n.Stmts() {
+		if s.Opaque() {
+			return false
+		}
+		for _, r := range s.Refs {
+			if !r.Class.Analyzable() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TripCount returns the trip count of loop i when its bounds are constant,
+// and ok=false otherwise.
+func (n *Nest) TripCount(i int) (int, bool) {
+	l := n.Loops[i]
+	if !l.Lo.IsConst() || !l.Hi.IsConst() {
+		return 0, false
+	}
+	t := l.Hi.Const - l.Lo.Const
+	if t < 0 {
+		t = 0
+	}
+	return t, true
+}
+
+// Volume estimates the nest's iteration volume (product of trip counts,
+// with unknownTrip substituted for non-constant bounds).
+func (n *Nest) Volume(unknownTrip int) int64 {
+	v := int64(1)
+	for i := range n.Loops {
+		t, ok := n.TripCount(i)
+		if !ok {
+			t = unknownTrip
+		}
+		if t == 0 {
+			return 0
+		}
+		v *= int64(t)
+	}
+	return v
+}
+
+// FindNests locates every maximal perfect nest in the body, recursing into
+// imperfect structure (a loop whose body mixes loops and statements yields
+// nests for each inner loop). Markers are transparent: a nest may be
+// preceded or followed by markers, but a marker inside a loop body breaks
+// perfection at that level (the body is then imperfect and inner loops are
+// visited individually).
+func FindNests(body []loopir.Node) []*Nest {
+	var nests []*Nest
+	collect(body, &nests)
+	return nests
+}
+
+func collect(body []loopir.Node, nests *[]*Nest) {
+	for i, node := range body {
+		l, ok := node.(*loopir.Loop)
+		if !ok {
+			continue
+		}
+		chain := []*loopir.Loop{l}
+		cur := l
+		for {
+			if len(cur.Body) == 1 {
+				if inner, ok := cur.Body[0].(*loopir.Loop); ok {
+					chain = append(chain, inner)
+					cur = inner
+					continue
+				}
+			}
+			break
+		}
+		// cur is the chain's innermost loop; if its body still contains
+		// loops (imperfect), recurse into it instead of claiming a nest
+		// that transforms could not handle as a unit.
+		hasInnerLoops := false
+		for _, n := range cur.Body {
+			if _, ok := n.(*loopir.Loop); ok {
+				hasInnerLoops = true
+				break
+			}
+		}
+		if hasInnerLoops {
+			collect(cur.Body, nests)
+			continue
+		}
+		*nests = append(*nests, &Nest{Loops: chain, owner: body, idx: i})
+	}
+}
+
+// arrayRefKey identifies a reference target for grouping.
+type arrayRefKey struct {
+	arr    *mem.Array
+	scalar *mem.Scalar
+}
+
+func keyOf(r loopir.Ref) arrayRefKey {
+	return arrayRefKey{arr: r.Array, scalar: r.Scalar}
+}

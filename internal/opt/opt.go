@@ -1,0 +1,126 @@
+package opt
+
+import "selcache/internal/loopir"
+
+// Options configure the optimizer. Every pass can be disabled independently
+// for ablation studies.
+type Options struct {
+	// Interchange enables reuse-driven loop permutation.
+	Interchange bool
+	// Layout enables per-array memory-layout (dimension-order)
+	// selection.
+	Layout bool
+	// Tiling enables iteration-space tiling against CacheBudget.
+	Tiling bool
+	// UnrollJam enables unroll-and-jam of the second-innermost loop.
+	UnrollJam bool
+	// ScalarRepl enables register promotion of innermost-invariant
+	// references (plus CSE of duplicate references).
+	ScalarRepl bool
+
+	// BlockBytes is the L1 line size the cost model assumes.
+	BlockBytes int
+	// CacheBudget is the tile working-set target in bytes (a fraction of
+	// L1 capacity).
+	CacheBudget int
+	// UnrollFactor is the preferred unroll-and-jam factor.
+	UnrollFactor int
+	// RegLimit bounds scalar replacement (register pressure).
+	RegLimit int
+}
+
+// Default returns the optimizer configuration used by the experiments,
+// matched to the paper's base machine (32-byte L1 lines, 32 KB L1).
+func Default() Options {
+	return Options{
+		Interchange:  true,
+		Layout:       true,
+		Tiling:       true,
+		UnrollJam:    true,
+		ScalarRepl:   true,
+		BlockBytes:   32,
+		CacheBudget:  16 << 10,
+		UnrollFactor: 4,
+		RegLimit:     16,
+	}
+}
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	NestsSeen      int
+	NestsOptimized int
+	Interchanged   int
+	Tiled          int
+	Unrolled       int
+	LayoutsChanged int
+	RefsCSEd       int
+	RefsPromoted   int
+}
+
+// Optimize applies the compiler locality optimizations to every analyzable
+// nest of p, in the paper's order: affine loop transformations and data
+// layout selection first (the integrated framework of Section 3.2's first
+// step), then register-oriented unroll-and-jam and scalar replacement (the
+// second step). The program is mutated in place.
+func Optimize(p *loopir.Program, o Options) Stats {
+	var st Stats
+	plan := NewLayoutPlan(p)
+
+	nests := FindNests(p.Body)
+	analyzable := make([]*Nest, 0, len(nests))
+	st.NestsSeen = len(nests)
+	for _, n := range nests {
+		if n.Analyzable() {
+			analyzable = append(analyzable, n)
+		}
+	}
+
+	// Pass 1: loop permutation, guided by the line-cost model, and
+	// layout voting under the post-permutation innermost loops.
+	for _, n := range analyzable {
+		if o.Interchange {
+			best, _ := BestInnermost(n, o.BlockBytes, func(ref loopir.Ref) bool {
+				return o.Layout && plan.Eligible(ref)
+			})
+			if Interchange(n, best) {
+				st.Interchanged++
+			}
+		}
+		if o.Layout {
+			plan.Vote(n)
+		}
+	}
+	if o.Layout {
+		st.LayoutsChanged = plan.Apply()
+	}
+
+	// Pass 2: tiling, then register optimizations, per nest. Tiling
+	// replaces the nest's loop chain, so rediscovery through the Nest
+	// handle (updated by Tile) keeps the later passes valid.
+	for _, n := range analyzable {
+		touched := false
+		if o.Tiling {
+			if tiles := tilePlan(n, o.CacheBudget); tiles != nil && Tile(n, tiles) {
+				st.Tiled++
+				touched = true
+			}
+		}
+		if o.UnrollJam {
+			if UnrollAndJam(n, o.UnrollFactor) {
+				st.Unrolled++
+				touched = true
+			}
+		}
+		if o.ScalarRepl {
+			st.RefsCSEd += CSE(n)
+			if promoted := ScalarReplace(n, o.RegLimit); promoted > 0 {
+				st.RefsPromoted += promoted
+				touched = true
+			}
+		}
+		if touched || o.Interchange {
+			st.NestsOptimized++
+		}
+	}
+	return st
+}

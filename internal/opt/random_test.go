@@ -1,0 +1,191 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"selcache/internal/loopir"
+	"selcache/internal/loopir/irgen"
+	"selcache/internal/mem"
+)
+
+// affineOnly generates random programs with no opaque statements, so every
+// nest is a transformation candidate.
+func affineOnly(seed uint64) *loopir.Program {
+	cfg := irgen.Default()
+	cfg.OpaquePercent = 0
+	return irgen.Program(seed, cfg)
+}
+
+// logicalTrace records accesses as (array, logical element, write) — a
+// layout-independent view, so programs can be compared across data
+// transformations.
+type logicalTrace struct {
+	arrays map[*mem.Array]int
+	evs    []logicalAccess
+}
+
+type logicalAccess struct {
+	array   int
+	linear  int64
+	isWrite bool
+}
+
+func traceLogical(p *loopir.Program) []logicalAccess {
+	// Addresses are layout-dependent, so reconstruct logical elements by
+	// inverting each array's current layout. Rather than invert, re-run
+	// against a sink that maps addresses through the arrays.
+	var arrays []*mem.Array
+	seen := map[*mem.Array]bool{}
+	for _, s := range loopir.Stmts(p.Body) {
+		for _, r := range s.Refs {
+			if r.Array != nil && !seen[r.Array] {
+				seen[r.Array] = true
+				arrays = append(arrays, r.Array)
+			}
+		}
+	}
+	sort.Slice(arrays, func(i, j int) bool { return arrays[i].Name < arrays[j].Name })
+	sink := &logicalSink{arrays: arrays}
+	loopir.Run(p, sink)
+	return sink.evs
+}
+
+type logicalSink struct {
+	arrays []*mem.Array
+	evs    []logicalAccess
+}
+
+func (s *logicalSink) Access(a mem.Addr, _ uint8, w bool) {
+	for idx, arr := range s.arrays {
+		span := mem.Addr(arr.Len()+64) * mem.Addr(arr.Elem)
+		if a >= arr.Base && a < arr.Base+span {
+			// Invert the layout: scan logical elements once and cache.
+			s.evs = append(s.evs, logicalAccess{array: idx, linear: logicalOf(arr, a), isWrite: w})
+			return
+		}
+	}
+	s.evs = append(s.evs, logicalAccess{array: -1, linear: int64(a), isWrite: w})
+}
+
+func (s *logicalSink) Compute(int) {}
+func (s *logicalSink) Marker(bool) {}
+
+// logicalOf inverts an array's current layout for a 2-D array.
+func logicalOf(a *mem.Array, addr mem.Addr) int64 {
+	off := int64(addr-a.Base) / int64(a.Elem)
+	// Try both logical coordinates orders (2-D arrays only in irgen).
+	for i := 0; i < a.Dims[0]; i++ {
+		for j := 0; j < a.Dims[1]; j++ {
+			if int64(i)*a.Stride(0)+int64(j)*a.Stride(1) == off {
+				return int64(i)*int64(a.Dims[1]) + int64(j)
+			}
+		}
+	}
+	return -1 - off
+}
+
+func sortedLogical(evs []logicalAccess) []logicalAccess {
+	out := append([]logicalAccess(nil), evs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].array != out[j].array {
+			return out[i].array < out[j].array
+		}
+		if out[i].linear != out[j].linear {
+			return out[i].linear < out[j].linear
+		}
+		return out[i].isWrite && !out[j].isWrite
+	})
+	return out
+}
+
+// TestOptimizePreservesLogicalAccessesRandom: over random affine programs,
+// the full optimizer (minus the passes that legitimately remove accesses:
+// CSE and scalar replacement) preserves the multiset of logical element
+// accesses — interchange, layout changes and tiling only reorder them.
+func TestOptimizePreservesLogicalAccessesRandom(t *testing.T) {
+	o := Default()
+	o.ScalarRepl = false
+	o.UnrollJam = true // unroll-and-jam alone must also preserve accesses
+	for seed := uint64(1); seed <= 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ref := affineOnly(seed)
+			want := sortedLogical(traceLogical(ref))
+
+			prog := affineOnly(seed)
+			Optimize(prog, o)
+			got := sortedLogical(traceLogical(prog))
+
+			if len(want) != len(got) {
+				t.Fatalf("access counts differ: %d vs %d", len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("logical access %d differs: %+v vs %+v", i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizeNeverAddsAccessesRandom: with every pass on (including
+// scalar replacement and CSE), the optimizer never increases the number of
+// accesses and never changes the set of logical elements written.
+func TestOptimizeNeverAddsAccessesRandom(t *testing.T) {
+	o := Default()
+	for seed := uint64(51); seed <= 100; seed++ {
+		ref := affineOnly(seed)
+		want := traceLogical(ref)
+
+		prog := affineOnly(seed)
+		Optimize(prog, o)
+		got := traceLogical(prog)
+
+		if len(got) > len(want) {
+			t.Fatalf("seed %d: optimizer added accesses: %d > %d", seed, len(got), len(want))
+		}
+		wantW := map[logicalAccess]bool{}
+		for _, e := range want {
+			if e.isWrite {
+				wantW[e] = true
+			}
+		}
+		gotW := map[logicalAccess]bool{}
+		for _, e := range got {
+			if e.isWrite {
+				gotW[e] = true
+			}
+		}
+		for e := range gotW {
+			if !wantW[e] {
+				t.Fatalf("seed %d: optimizer writes element %+v the base never writes", seed, e)
+			}
+		}
+		for e := range wantW {
+			if !gotW[e] {
+				t.Fatalf("seed %d: optimizer dropped the last write to %+v", seed, e)
+			}
+		}
+	}
+}
+
+// TestOptimizeDeterministicRandom: optimizing equal programs yields equal
+// structures and equal statistics.
+func TestOptimizeDeterministicRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a := affineOnly(seed)
+		b := affineOnly(seed)
+		sa := Optimize(a, Default())
+		sb := Optimize(b, Default())
+		if sa != sb {
+			t.Fatalf("seed %d: stats differ: %+v vs %+v", seed, sa, sb)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: structures differ", seed)
+		}
+	}
+}
+
+var _ = logicalTrace{}

@@ -1,0 +1,143 @@
+package opt
+
+import "selcache/internal/loopir"
+
+// ReuseKind describes the locality a reference exhibits with respect to one
+// loop variable placed innermost.
+type ReuseKind int
+
+const (
+	// ReuseNone: consecutive iterations touch unrelated cache lines.
+	ReuseNone ReuseKind = iota
+	// ReuseSpatial: consecutive iterations walk within cache lines
+	// (possibly after a layout transformation).
+	ReuseSpatial
+	// ReuseTemporal: the reference does not depend on the variable at
+	// all; every iteration reuses the same element.
+	ReuseTemporal
+)
+
+// refReuse classifies how ref behaves if v is the innermost loop variable.
+// It also reports the logical dimension that would have to be
+// fastest-varying for the spatial reuse to materialize, and the access
+// stride in elements along that dimension.
+func refReuse(ref loopir.Ref, v string) (kind ReuseKind, dim int, stride int) {
+	if ref.Class == loopir.ClassScalar {
+		return ReuseTemporal, -1, 0
+	}
+	uses := 0
+	dim = -1
+	for d, sub := range ref.Subs {
+		if c := sub.Coeff(v); c != 0 {
+			uses++
+			dim = d
+			stride = c
+			if stride < 0 {
+				stride = -stride
+			}
+		}
+	}
+	switch uses {
+	case 0:
+		return ReuseTemporal, -1, 0
+	case 1:
+		return ReuseSpatial, dim, stride
+	default:
+		return ReuseNone, -1, 0
+	}
+}
+
+// lineCost estimates the expected fraction of a cache line fetched per
+// iteration by ref when v is innermost: 0 for temporal reuse, stride-scaled
+// for spatial reuse (assuming the layout pass will make dim fastest-varying
+// when it may, or using the current stride when it may not), and 1 for no
+// reuse.
+func lineCost(ref loopir.Ref, v string, blockBytes int, layoutFree bool) float64 {
+	kind, dim, stride := refReuse(ref, v)
+	switch kind {
+	case ReuseTemporal:
+		return 0
+	case ReuseNone:
+		return 1
+	}
+	elem := ref.Array.Elem
+	var bytesPerIter float64
+	if layoutFree {
+		bytesPerIter = float64(stride * elem)
+	} else {
+		s := ref.Array.Stride(dim)
+		bytesPerIter = float64(int64(stride) * s * int64(elem))
+	}
+	cost := bytesPerIter / float64(blockBytes)
+	if cost > 1 {
+		return 1
+	}
+	return cost
+}
+
+// InnermostCost returns the per-iteration cache-line cost of the nest with
+// v innermost, summed over its references. layoutEligible says which arrays
+// the layout pass may reorder.
+func InnermostCost(n *Nest, v string, blockBytes int, layoutEligible func(ref loopir.Ref) bool) float64 {
+	total := 0.0
+	for _, ref := range n.Refs() {
+		if ref.Hoisted {
+			continue
+		}
+		total += lineCost(ref, v, blockBytes, layoutEligible(ref))
+	}
+	return total
+}
+
+// BestInnermost selects the loop (by index into n.Loops) whose variable
+// minimizes the innermost cost. Ties under the layout-free cost model are
+// broken by the cost under the arrays' *current* layouts (a candidate that
+// is already stride-1 needs no data transformation, so layout votes across
+// nests stay consistent), and the current innermost wins remaining ties, so
+// the pass is stable: an already-optimal nest is untouched.
+func BestInnermost(n *Nest, blockBytes int, layoutEligible func(ref loopir.Ref) bool) (best int, costs []float64) {
+	costs = make([]float64, n.Depth())
+	fixed := make([]float64, n.Depth())
+	best = n.Depth() - 1
+	noLayout := func(loopir.Ref) bool { return false }
+	for i, l := range n.Loops {
+		costs[i] = InnermostCost(n, l.Var, blockBytes, layoutEligible)
+		fixed[i] = InnermostCost(n, l.Var, blockBytes, noLayout)
+	}
+	const margin = 1e-9
+	for i := 0; i < n.Depth()-1; i++ {
+		switch {
+		case costs[i] < costs[best]-margin:
+			best = i
+		case costs[i] < costs[best]+margin && fixed[i] < fixed[best]-margin:
+			best = i
+		}
+	}
+	return best, costs
+}
+
+// TemporalOuterReuse reports whether some reference is invariant in the
+// innermost variable but varies with an outer loop whose full sweep
+// footprint is large — the signature that tiling can convert outer-carried
+// reuse into cache hits.
+func TemporalOuterReuse(n *Nest) bool {
+	inner := n.Innermost().Var
+	for _, ref := range n.Refs() {
+		if ref.Class != loopir.ClassAffine {
+			continue
+		}
+		kind, _, _ := refReuse(ref, inner)
+		if kind == ReuseTemporal {
+			continue
+		}
+		// The ref moves with the innermost loop; does some outer loop
+		// leave it untouched (so the whole traversal repeats)?
+		for _, l := range n.Loops[:n.Depth()-1] {
+			k, _, _ := refReuse(ref, l.Var)
+			if k == ReuseTemporal {
+				return true
+			}
+		}
+	}
+	return false
+}

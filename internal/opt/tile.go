@@ -1,0 +1,196 @@
+package opt
+
+import "selcache/internal/loopir"
+
+// tilePlan decides which loops of a nest to tile and with what tile sizes,
+// targeting a working set that fits in budget bytes (a fraction of the L1
+// capacity: other data needs room too).
+//
+// Tiling pays off when some reference's traversal is repeated by an outer
+// loop (outer-carried temporal reuse) and the traversal's footprint
+// overflows the cache. We strip-mine every loop that some repeated
+// reference walks, shrinking each tile until the tile footprint fits.
+func tilePlan(n *Nest, budget int) map[int]int {
+	inner := n.Innermost().Var
+	// Which loops repeat some traversal, and which loops do the
+	// traversed references walk?
+	walked := map[int]bool{}
+	repeats := false
+	for _, ref := range n.Refs() {
+		if ref.Class != loopir.ClassAffine {
+			continue
+		}
+		kind, _, _ := refReuse(ref, inner)
+		if kind == ReuseTemporal {
+			continue
+		}
+		carried := false
+		for li, l := range n.Loops[:n.Depth()-1] {
+			k, _, _ := refReuse(ref, l.Var)
+			if k == ReuseTemporal {
+				carried = true
+			} else {
+				walked[li] = true
+			}
+		}
+		if carried {
+			repeats = true
+		}
+	}
+	if !repeats {
+		return nil
+	}
+	// Footprint of one full traversal of the walked loops plus the
+	// innermost loop, per reference, in bytes.
+	footprint := func(tiles map[int]int) int64 {
+		total := int64(0)
+		for _, ref := range n.Refs() {
+			if ref.Class != loopir.ClassAffine || ref.Hoisted {
+				continue
+			}
+			bytes := int64(ref.Array.Elem)
+			for li := range n.Loops {
+				k, _, _ := refReuse(ref, n.Loops[li].Var)
+				if k == ReuseTemporal {
+					continue
+				}
+				t, ok := n.TripCount(li)
+				if !ok {
+					t = 1 << 10
+				}
+				if tv, tiled := tiles[li]; tiled && tv < t {
+					t = tv
+				}
+				bytes *= int64(t)
+			}
+			total += bytes
+		}
+		return total
+	}
+	if footprint(nil) <= int64(budget) {
+		return nil
+	}
+	// Candidate loops to strip-mine: the walked non-innermost loops and
+	// the innermost loop itself.
+	cands := make([]int, 0, n.Depth())
+	for li := range n.Loops[:n.Depth()-1] {
+		if walked[li] {
+			cands = append(cands, li)
+		}
+	}
+	cands = append(cands, n.Depth()-1)
+
+	tiles := map[int]int{}
+	for _, li := range cands {
+		if t, ok := n.TripCount(li); ok {
+			tiles[li] = t
+		} else {
+			tiles[li] = 1 << 10
+		}
+	}
+	// Shrink tile sizes (largest first) until the tile fits.
+	for footprint(tiles) > int64(budget) {
+		largest, lv := -1, 0
+		for _, li := range cands {
+			if tiles[li] > lv {
+				largest, lv = li, tiles[li]
+			}
+		}
+		if lv <= minTile {
+			break
+		}
+		tiles[largest] = lv / 2
+	}
+	// Drop no-op tiles (tile size covers the whole trip count).
+	for _, li := range cands {
+		if t, ok := n.TripCount(li); ok && tiles[li] >= t {
+			delete(tiles, li)
+		}
+	}
+	if len(tiles) == 0 {
+		return nil
+	}
+	return tiles
+}
+
+// minTile keeps tiles from degenerating below a cache line's worth of
+// elements.
+const minTile = 8
+
+// Tile strip-mines the loops selected by tilePlan and hoists the tile
+// (control) loops outside the element loops, preserving relative order —
+// the classic tiling structure:
+//
+//	for iT = lo_i .. hi_i step T_i
+//	  for jT = lo_j .. hi_j step T_j
+//	    for i = iT .. min(hi_i, iT+T_i)
+//	      for j = jT .. min(hi_j, jT+T_j)
+//
+// Tiling is legal whenever the (identity-preserving) permutation that
+// hoists the control loops is: control loops iterate in the original order
+// and element loops never cross a dependence backwards because each
+// dependence distance is bounded by the tile size only in already-legal
+// directions. We reuse the interchange legality test on the equivalent
+// permutation of the element loops; nests that fail keep their original
+// shape. It returns true when tiling was applied.
+func Tile(n *Nest, tiles map[int]int) bool {
+	if len(tiles) == 0 {
+		return false
+	}
+	// Tiling reorders execution like interchanging the tiled loops with
+	// everything between them; require fully permutable tiled depths.
+	deps := nestDependences(n)
+	for li := range tiles {
+		perm := swapToFront(n.Depth(), li)
+		if !permutationLegal(deps, perm) {
+			return false
+		}
+	}
+
+	d := n.Depth()
+	inner := n.Innermost()
+	body := inner.Body
+
+	var control []*loopir.Loop
+	element := make([]*loopir.Loop, 0, d)
+	for li := 0; li < d; li++ {
+		l := n.Loops[li]
+		t, tiled := tiles[li]
+		if !tiled {
+			element = append(element, &loopir.Loop{
+				Var: l.Var, Lo: l.Lo, Hi: l.Hi, Step: 1, Pref: l.Pref,
+			})
+			continue
+		}
+		ctrlVar := l.Var + "#T"
+		control = append(control, &loopir.Loop{
+			Var: ctrlVar, Lo: l.Lo, Hi: l.Hi, Step: t, Pref: l.Pref,
+		})
+		capExpr := loopir.VarExpr(ctrlVar).AddConst(t)
+		element = append(element, &loopir.Loop{
+			Var: l.Var, Lo: loopir.VarExpr(ctrlVar), Hi: l.Hi, Cap: &capExpr, Step: 1, Pref: l.Pref,
+		})
+	}
+	chain := append(control, element...)
+	for i := 0; i < len(chain)-1; i++ {
+		chain[i].Body = []loopir.Node{chain[i+1]}
+	}
+	chain[len(chain)-1].Body = body
+	n.replace(chain[0])
+	n.Loops = chain
+	n.owner[n.idx] = chain[0]
+	return true
+}
+
+// swapToFront builds the permutation that moves loop li to the outermost
+// position, keeping everyone else in order.
+func swapToFront(depth, li int) []int {
+	perm := make([]int, 0, depth)
+	perm = append(perm, li)
+	for i := 0; i < depth; i++ {
+		if i != li {
+			perm = append(perm, i)
+		}
+	}
+	return perm
+}

@@ -1,0 +1,231 @@
+package opt
+
+import (
+	"fmt"
+
+	"selcache/internal/loopir"
+)
+
+// UnrollAndJam unrolls the loop immediately enclosing the innermost loop by
+// factor u and jams the copies into a single innermost body, substituting
+// var -> var+k into every subscript of copy k. It requires a constant trip
+// count divisible by u (no remainder loop is generated — workload extents
+// are chosen divisible, as benchmark kernels typically are).
+//
+// Unroll-and-jam is the standard enabler for scalar replacement of
+// outer-carried reuse (Callahan–Carr–Kennedy); the jammed copies expose
+// identical references that CSE then collapses into registers. It returns
+// true when applied.
+func UnrollAndJam(n *Nest, u int) bool {
+	if n.Depth() < 2 || u < 2 {
+		return false
+	}
+	oi := n.Depth() - 2
+	outer := n.Loops[oi]
+	trip, ok := n.TripCount(oi)
+	if !ok || trip == 0 || trip%u != 0 {
+		return false
+	}
+	// Jamming interchanges copies of the inner loop across outer
+	// iterations; it is legal iff interchanging outer and inner is.
+	perm := make([]int, n.Depth())
+	for i := range perm {
+		perm[i] = i
+	}
+	perm[oi], perm[oi+1] = perm[oi+1], perm[oi]
+	if !permutationLegal(nestDependences(n), perm) {
+		return false
+	}
+	inner := n.Innermost()
+	var jammed []loopir.Node
+	for k := 0; k < u; k++ {
+		for _, node := range inner.Body {
+			s, ok := node.(*loopir.Stmt)
+			if !ok {
+				return false
+			}
+			c := s.Clone().(*loopir.Stmt)
+			if k > 0 {
+				c.Name = fmt.Sprintf("%s#u%d", s.Name, k)
+				repl := loopir.VarExpr(outer.Var).AddConst(k)
+				for ri := range c.Refs {
+					for si := range c.Refs[ri].Subs {
+						c.Refs[ri].Subs[si] = c.Refs[ri].Subs[si].Subst(outer.Var, repl)
+					}
+				}
+			}
+			jammed = append(jammed, c)
+		}
+	}
+	outer.Step = u
+	inner.Body = jammed
+	return true
+}
+
+// CSE collapses textually identical references within the innermost body
+// into a single memory access (the rest become register moves): repeated
+// reads keep the first occurrence, repeated writes keep the first and drop
+// the rest (the value lives in a register until the final store, which the
+// scalar-replacement epilogue models when the reference is also hoisted).
+// It returns the number of references eliminated.
+func CSE(n *Nest) int {
+	type occKey struct {
+		key  arrayRefKey
+		subs string
+	}
+	seenRead := map[occKey]bool{}
+	seenWrite := map[occKey]bool{}
+	eliminated := 0
+	for _, s := range n.Stmts() {
+		for ri := range s.Refs {
+			r := &s.Refs[ri]
+			if r.Hoisted || !r.Class.Analyzable() {
+				continue
+			}
+			k := occKey{key: keyOf(*r), subs: subsString(r.Subs)}
+			if r.Write {
+				if seenWrite[k] {
+					r.Hoisted = true
+					eliminated++
+				}
+				seenWrite[k] = true
+				continue
+			}
+			if seenRead[k] || seenWrite[k] {
+				// A read after an identical read or write is a
+				// register reuse.
+				r.Hoisted = true
+				eliminated++
+			}
+			seenRead[k] = true
+		}
+	}
+	return eliminated
+}
+
+func subsString(subs []loopir.Expr) string {
+	out := ""
+	for _, s := range subs {
+		out += "[" + s.String() + "]"
+	}
+	return out
+}
+
+// ScalarReplace promotes references that are invariant in the innermost
+// loop into registers: the loop body no longer touches memory for them;
+// instead a preheader statement performs one load per promoted value (when
+// it is read) and an epilogue statement one store (when it is written).
+// regLimit bounds the number of promoted values (register pressure). The
+// innermost loop node is replaced in its parent by [preheader, loop,
+// epilogue] as needed, so this must be the final pass applied to a nest.
+// It returns the number of promoted reference groups.
+func ScalarReplace(n *Nest, regLimit int) int {
+	inner := n.Innermost()
+	type group struct {
+		ref      loopir.Ref
+		hasRead  bool
+		hasWrite bool
+		members  []*loopir.Ref
+	}
+	type gKey struct {
+		key  arrayRefKey
+		subs string
+	}
+	groups := map[gKey]*group{}
+	var order []gKey
+	for _, s := range n.Stmts() {
+		if s.Opaque() {
+			return 0
+		}
+		for ri := range s.Refs {
+			r := &s.Refs[ri]
+			if r.Hoisted {
+				continue
+			}
+			invariant := true
+			if r.Class == loopir.ClassAffine {
+				for _, sub := range r.Subs {
+					if sub.Uses(inner.Var) {
+						invariant = false
+						break
+					}
+				}
+			} else if r.Class != loopir.ClassScalar {
+				invariant = false
+			}
+			if !invariant {
+				continue
+			}
+			k := gKey{key: keyOf(*r), subs: subsString(r.Subs)}
+			g := groups[k]
+			if g == nil {
+				g = &group{ref: *r}
+				groups[k] = g
+				order = append(order, k)
+			}
+			if r.Write {
+				g.hasWrite = true
+			} else {
+				g.hasRead = true
+			}
+			g.members = append(g.members, r)
+		}
+	}
+	if len(order) == 0 {
+		return 0
+	}
+	if len(order) > regLimit {
+		order = order[:regLimit]
+	}
+	var preRefs, epiRefs []loopir.Ref
+	promoted := 0
+	for _, k := range order {
+		g := groups[k]
+		for _, m := range g.members {
+			m.Hoisted = true
+		}
+		if g.hasRead {
+			r := g.ref
+			r.Write = false
+			r.Hoisted = false
+			r.Subs = append([]loopir.Expr(nil), r.Subs...)
+			preRefs = append(preRefs, r)
+		}
+		if g.hasWrite {
+			r := g.ref
+			r.Write = true
+			r.Hoisted = false
+			r.Subs = append([]loopir.Expr(nil), r.Subs...)
+			epiRefs = append(epiRefs, r)
+		}
+		promoted++
+	}
+	// Splice preheader/epilogue around the innermost loop inside its
+	// parent (or around the whole nest if depth is 1).
+	var repl []loopir.Node
+	if len(preRefs) > 0 {
+		repl = append(repl, &loopir.Stmt{Name: "scalar-load", Refs: preRefs, Compute: 1})
+	}
+	repl = append(repl, inner)
+	if len(epiRefs) > 0 {
+		repl = append(repl, &loopir.Stmt{Name: "scalar-store", Refs: epiRefs, Compute: 1})
+	}
+	if len(repl) == 1 {
+		return promoted
+	}
+	if n.Depth() == 1 {
+		// Replace in owner: the nest's single loop becomes a sequence.
+		// Owners hold Nodes, so wrap by splicing via a synthetic loop is
+		// unnecessary: we can only replace one node, so wrap the
+		// sequence in a single-iteration loop.
+		wrapper := &loopir.Loop{
+			Var: inner.Var + "#pre", Lo: loopir.ConstExpr(0), Hi: loopir.ConstExpr(1),
+			Step: 1, Body: repl, Pref: inner.Pref,
+		}
+		n.replace(wrapper)
+		return promoted
+	}
+	parent := n.Loops[n.Depth()-2]
+	parent.Body = repl
+	return promoted
+}

@@ -1,0 +1,145 @@
+package regions
+
+import "selcache/internal/loopir"
+
+// absState is the abstract hardware-flag state used by the redundancy
+// analysis.
+type absState int
+
+const (
+	stOff absState = iota
+	stOn
+	stUnknown
+)
+
+func join(a, b absState) absState {
+	if a == b {
+		return a
+	}
+	return stUnknown
+}
+
+func stateOf(on bool) absState {
+	if on {
+		return stOn
+	}
+	return stOff
+}
+
+// Eliminate removes redundant activate/deactivate instructions from p,
+// assuming the flag starts deactivated (the selective scheme's initial
+// state: "initially we start with a compiler approach"). A marker is
+// redundant when the flag provably already has the target state on every
+// execution reaching it, or when it is immediately overwritten by another
+// marker before any memory reference executes. Returns the number of
+// markers removed.
+func Eliminate(p *loopir.Program) int {
+	removed := 0
+	for {
+		n := 0
+		p.Body, _ = elimBody(p.Body, stOff, &n)
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+// elimBody rewrites body, removing provably redundant markers, and returns
+// the rewritten body plus the abstract state at its exit given entry state
+// in.
+func elimBody(body []loopir.Node, in absState, removed *int) ([]loopir.Node, absState) {
+	out := make([]loopir.Node, 0, len(body))
+	state := in
+	// pendingMarker is the index in out of the most recent marker with no
+	// intervening loop or statement; a second marker makes it dead.
+	pending := -1
+	for _, n := range body {
+		switch n := n.(type) {
+		case *loopir.Marker:
+			target := stateOf(n.On)
+			if state == target {
+				*removed++
+				continue
+			}
+			if pending >= 0 {
+				// The previous marker never took effect.
+				out = append(out[:pending], out[pending+1:]...)
+				*removed++
+			}
+			out = append(out, n)
+			pending = len(out) - 1
+			state = target
+		case *loopir.Loop:
+			if !hasMarkers(n.Body) {
+				// A marker-free loop leaves the flag untouched no
+				// matter how many times it runs.
+				out = append(out, n)
+				pending = -1
+				continue
+			}
+			// The loop body may execute zero or many times: its entry
+			// state is the join of the state before the loop and the
+			// state at the end of an iteration (fixpoint in two steps,
+			// analysis only on the first).
+			_, exit := analyzeBody(n.Body, join(state, stUnknown))
+			entry := join(state, exit)
+			var bodyExit absState
+			n.Body, bodyExit = elimBody(n.Body, entry, removed)
+			state = join(state, bodyExit)
+			out = append(out, n)
+			pending = -1
+		case *loopir.Stmt:
+			out = append(out, n)
+			pending = -1
+		default:
+			out = append(out, n)
+			pending = -1
+		}
+	}
+	return out, state
+}
+
+// analyzeBody computes the exit state of body from entry state in without
+// rewriting anything.
+func analyzeBody(body []loopir.Node, in absState) (entryUsed, exit absState) {
+	state := in
+	for _, n := range body {
+		switch n := n.(type) {
+		case *loopir.Marker:
+			state = stateOf(n.On)
+		case *loopir.Loop:
+			if !hasMarkers(n.Body) {
+				continue
+			}
+			_, bodyExit := analyzeBody(n.Body, stUnknown)
+			state = join(state, bodyExit)
+		}
+	}
+	return in, state
+}
+
+// hasMarkers reports whether any marker occurs in body (at any depth).
+func hasMarkers(body []loopir.Node) bool {
+	found := false
+	loopir.Walk(body, func(n loopir.Node) bool {
+		if _, ok := n.(*loopir.Marker); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// MarkerCount returns the number of marker nodes in the program
+// (test/diagnostic helper).
+func MarkerCount(p *loopir.Program) int {
+	n := 0
+	loopir.Walk(p.Body, func(node loopir.Node) bool {
+		if _, ok := node.(*loopir.Marker); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}

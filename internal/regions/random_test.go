@@ -1,0 +1,91 @@
+package regions
+
+import (
+	"fmt"
+	"testing"
+
+	"selcache/internal/loopir"
+	"selcache/internal/loopir/irgen"
+	"selcache/internal/mem"
+)
+
+// stateTrace runs prog and records the hardware-flag state at every access.
+func stateTrace(prog *loopir.Program) []bool {
+	sink := &stateRecorder{}
+	loopir.Run(prog, sink)
+	return sink.states
+}
+
+// TestEliminationSemanticsRandom checks, over a corpus of random programs,
+// that the redundancy-elimination pass never changes the hardware state
+// observed at any access.
+func TestEliminationSemanticsRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := Default()
+			cfg.Eliminate = false
+			naive := irgen.Program(seed, irgen.Default())
+			Detect(naive, cfg)
+			want := stateTrace(naive)
+
+			cfg.Eliminate = true
+			elim := irgen.Program(seed, irgen.Default())
+			st := Detect(elim, cfg)
+			got := stateTrace(elim)
+
+			if len(want) != len(got) {
+				t.Fatalf("access counts differ: %d vs %d", len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("access %d: naive state %v, eliminated state %v (removed %d markers)",
+						i, want[i], got[i], st.Eliminated)
+				}
+			}
+		})
+	}
+}
+
+// TestMarkersNeverIncrease checks elimination is monotone: the eliminated
+// program never executes more markers than the naive one.
+func TestMarkersNeverIncrease(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		cfgN := Default()
+		cfgN.Eliminate = false
+		naive := irgen.Program(seed, irgen.Default())
+		Detect(naive, cfgN)
+		var cn mem.CountingEmitter
+		loopir.Run(naive, &cn)
+
+		elim := irgen.Program(seed, irgen.Default())
+		Detect(elim, Default())
+		var ce mem.CountingEmitter
+		loopir.Run(elim, &ce)
+
+		if ce.Markers > cn.Markers {
+			t.Fatalf("seed %d: eliminated program runs %d markers, naive %d",
+				seed, ce.Markers, cn.Markers)
+		}
+		if ce.Accesses() != cn.Accesses() {
+			t.Fatalf("seed %d: access counts diverged", seed)
+		}
+	}
+}
+
+// TestDetectionDeterministic: detection on equal programs yields equal
+// structures.
+func TestDetectionDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a := irgen.Program(seed, irgen.Default())
+		b := irgen.Program(seed, irgen.Default())
+		sa := Detect(a, Default())
+		sb := Detect(b, Default())
+		if sa != sb {
+			t.Fatalf("seed %d: stats differ: %+v vs %+v", seed, sa, sb)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: structures differ", seed)
+		}
+	}
+}

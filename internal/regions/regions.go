@@ -1,0 +1,194 @@
+// Package regions implements the compiler analysis at the heart of the
+// paper (Section 2): dividing a program into uniform regions, selecting a
+// locality-optimization method (hardware or compiler) for each region, and
+// bracketing the hardware regions with activate/deactivate (ON/OFF)
+// instructions, followed by elimination of redundant ON/OFF instructions.
+//
+// The algorithm works innermost-out. Each innermost loop is classified by
+// the ratio of analyzable references (scalar, affine) to total references;
+// at or above the threshold the loop is compiler-optimizable, below it the
+// hardware mechanism is preferred. The preference propagates to enclosing
+// loops whose inner loops agree; enclosing loops with disagreeing children
+// become mixed regions handled loop by loop. Straight-line statements
+// sandwiched between loops are treated as one-iteration imaginary loops and
+// classified by their own references.
+package regions
+
+import "selcache/internal/loopir"
+
+// Config parameterizes detection.
+type Config struct {
+	// Threshold is the minimum analyzable-reference ratio for a loop to
+	// be compiler-optimized. The paper selected 0.5 after
+	// experimentation and found results insensitive to it because real
+	// regions are 90–100% uniform.
+	Threshold float64
+	// Propagate enables innermost-out propagation of preferences to
+	// enclosing loops (Section 2.2). Disabling it (an ablation) decides
+	// every loop purely from its own directly contained references.
+	Propagate bool
+	// Eliminate enables the redundant ON/OFF elimination pass.
+	Eliminate bool
+}
+
+// Default returns the paper's configuration.
+func Default() Config {
+	return Config{Threshold: 0.5, Propagate: true, Eliminate: true}
+}
+
+// Stats summarizes a detection run.
+type Stats struct {
+	SoftwareLoops int
+	HardwareLoops int
+	MixedLoops    int
+	// AnalyzableRefs and TotalRefs count static references over the
+	// whole program.
+	AnalyzableRefs int
+	TotalRefs      int
+	// Inserted is the number of ON/OFF instructions placed by the naive
+	// marking pass; Eliminated is how many the redundancy pass removed.
+	Inserted   int
+	Eliminated int
+}
+
+// Detect runs the full pipeline — annotate, insert markers, eliminate
+// redundant markers — mutating p in place, and returns statistics.
+func Detect(p *loopir.Program, cfg Config) Stats {
+	var st Stats
+	for _, r := range loopir.Refs(p.Body) {
+		st.TotalRefs++
+		if r.Class.Analyzable() {
+			st.AnalyzableRefs++
+		}
+	}
+	Annotate(p, cfg)
+	for _, l := range loopir.Loops(p.Body) {
+		switch l.Pref {
+		case loopir.PrefSoftware:
+			st.SoftwareLoops++
+		case loopir.PrefHardware:
+			st.HardwareLoops++
+		case loopir.PrefMixed:
+			st.MixedLoops++
+		}
+	}
+	st.Inserted = InsertMarkers(p, cfg)
+	if cfg.Eliminate {
+		st.Eliminated = Eliminate(p)
+	}
+	return st
+}
+
+// RefRatio returns the analyzable-reference ratio of a reference list
+// (1.0 for an empty list: nothing prevents compiler optimization).
+func RefRatio(refs []loopir.Ref) float64 {
+	if len(refs) == 0 {
+		return 1
+	}
+	a := 0
+	for _, r := range refs {
+		if r.Class.Analyzable() {
+			a++
+		}
+	}
+	return float64(a) / float64(len(refs))
+}
+
+// LoopRatio returns the analyzable-reference ratio over every reference
+// inside l (including nested loops).
+func LoopRatio(l *loopir.Loop) float64 {
+	return RefRatio(loopir.Refs(l.Body))
+}
+
+func prefOf(ratio, threshold float64) loopir.Preference {
+	if ratio >= threshold {
+		return loopir.PrefSoftware
+	}
+	return loopir.PrefHardware
+}
+
+// Annotate fills in the Pref field of every loop, innermost-out.
+func Annotate(p *loopir.Program, cfg Config) {
+	for _, n := range p.Body {
+		if l, ok := n.(*loopir.Loop); ok {
+			annotateLoop(l, cfg)
+		}
+	}
+}
+
+func annotateLoop(l *loopir.Loop, cfg Config) loopir.Preference {
+	var childPrefs []loopir.Preference
+	for _, n := range l.Body {
+		if inner, ok := n.(*loopir.Loop); ok {
+			childPrefs = append(childPrefs, annotateLoop(inner, cfg))
+		}
+	}
+	if len(childPrefs) == 0 || !cfg.Propagate {
+		// Innermost loop (or propagation disabled): decide from the
+		// references the loop contains.
+		l.Pref = prefOf(LoopRatio(l), cfg.Threshold)
+		return l.Pref
+	}
+	// Enclosing loop: if every inner loop agrees, propagate the shared
+	// preference (memory references between the inner loops are then
+	// optimized the same way); otherwise the loop is a mixed region and
+	// we switch techniques while processing its constituents.
+	shared := childPrefs[0]
+	for _, p := range childPrefs[1:] {
+		if p != shared {
+			shared = loopir.PrefMixed
+			break
+		}
+	}
+	if shared == loopir.PrefMixed {
+		l.Pref = loopir.PrefMixed
+	} else {
+		l.Pref = shared
+	}
+	return l.Pref
+}
+
+// InsertMarkers places an ON/OFF instruction at the header of every region
+// per the naive marking of Figure 2(b), mutating p. It returns the number
+// of markers inserted. Annotate must have run first.
+func InsertMarkers(p *loopir.Program, cfg Config) int {
+	n := 0
+	p.Body = insertInBody(p.Body, cfg, &n)
+	return n
+}
+
+func insertInBody(body []loopir.Node, cfg Config, count *int) []loopir.Node {
+	out := make([]loopir.Node, 0, len(body)+4)
+	mark := func(on bool) {
+		out = append(out, &loopir.Marker{On: on})
+		*count++
+	}
+	for _, n := range body {
+		switch n := n.(type) {
+		case *loopir.Loop:
+			switch n.Pref {
+			case loopir.PrefHardware:
+				mark(true)
+			case loopir.PrefSoftware:
+				mark(false)
+			case loopir.PrefMixed:
+				// Handled region by region inside.
+				n.Body = insertInBody(n.Body, cfg, count)
+			case loopir.PrefUnset:
+				// Unannotated loop: classify on the spot so that
+				// partially built programs stay usable.
+				n.Pref = prefOf(LoopRatio(n), cfg.Threshold)
+				mark(n.Pref == loopir.PrefHardware)
+			}
+			out = append(out, n)
+		case *loopir.Stmt:
+			// A statement between nests is an imaginary one-iteration
+			// loop classified by its own references (Section 2.2).
+			mark(prefOf(RefRatio(n.Refs), cfg.Threshold) == loopir.PrefHardware)
+			out = append(out, n)
+		default:
+			out = append(out, n)
+		}
+	}
+	return out
+}

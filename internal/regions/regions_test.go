@@ -1,0 +1,331 @@
+package regions
+
+import (
+	"testing"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// fixtures
+
+func affineStmt(a *mem.Array, vars ...string) *loopir.Stmt {
+	subs := make([]loopir.Expr, len(a.Dims))
+	for i := range subs {
+		if i < len(vars) {
+			subs[i] = loopir.VarExpr(vars[i])
+		} else {
+			subs[i] = loopir.ConstExpr(0)
+		}
+	}
+	return &loopir.Stmt{Name: "affine", Refs: []loopir.Ref{
+		loopir.AffineRef(a, false, subs...),
+	}}
+}
+
+func opaqueStmt(a *mem.Array) *loopir.Stmt {
+	return &loopir.Stmt{
+		Name: "opaque",
+		Refs: []loopir.Ref{loopir.OpaqueRef(loopir.ClassIndexed, a, false)},
+		Run:  func(ctx *loopir.Ctx) { ctx.Load(a, 0, 0) },
+	}
+}
+
+func newArr(t *testing.T) *mem.Array {
+	t.Helper()
+	return mem.NewArray(mem.NewSpace(), "A", 8, 16, 16)
+}
+
+func TestInnermostClassification(t *testing.T) {
+	a := newArr(t)
+	sw := &loopir.Program{Body: []loopir.Node{
+		loopir.ForLoop("i", 4, affineStmt(a, "i")),
+	}}
+	Annotate(sw, Default())
+	if got := loopir.Loops(sw.Body)[0].Pref; got != loopir.PrefSoftware {
+		t.Fatalf("affine loop classified %v", got)
+	}
+
+	hw := &loopir.Program{Body: []loopir.Node{
+		loopir.ForLoop("i", 4, opaqueStmt(a)),
+	}}
+	Annotate(hw, Default())
+	if got := loopir.Loops(hw.Body)[0].Pref; got != loopir.PrefHardware {
+		t.Fatalf("opaque loop classified %v", got)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	a := newArr(t)
+	// One affine + one indexed ref: ratio 0.5.
+	mixStmt := &loopir.Stmt{
+		Name: "mix",
+		Refs: []loopir.Ref{
+			loopir.AffineRef(a, false, loopir.VarExpr("i"), loopir.ConstExpr(0)),
+			loopir.OpaqueRef(loopir.ClassIndexed, a, false),
+		},
+		Run: func(ctx *loopir.Ctx) { ctx.Load(a, 0, 0) },
+	}
+	prog := func() *loopir.Program {
+		return &loopir.Program{Body: []loopir.Node{loopir.ForLoop("i", 4, mixStmt)}}
+	}
+	p1 := prog()
+	Annotate(p1, Config{Threshold: 0.5, Propagate: true})
+	if got := loopir.Loops(p1.Body)[0].Pref; got != loopir.PrefSoftware {
+		t.Fatalf("ratio 0.5 at threshold 0.5: %v (want software; ratio >= threshold)", got)
+	}
+	p2 := prog()
+	Annotate(p2, Config{Threshold: 0.6, Propagate: true})
+	if got := loopir.Loops(p2.Body)[0].Pref; got != loopir.PrefHardware {
+		t.Fatalf("ratio 0.5 at threshold 0.6: %v", got)
+	}
+}
+
+// buildFigure2 reproduces the paper's Figure 2 example: an outer loop at
+// level 1 containing three nests at level 2; the first and third prefer
+// hardware, the middle prefers the compiler.
+func buildFigure2(t *testing.T) (*loopir.Program, *mem.Array) {
+	t.Helper()
+	a := newArr(t)
+	nest1 := loopir.ForLoop("a2", 4,
+		loopir.ForLoop("a3", 4,
+			loopir.ForLoop("a4", 4, opaqueStmt(a))))
+	nest2 := loopir.ForLoop("b2", 4, affineStmt(a, "b2"))
+	nest3 := loopir.ForLoop("c2", 4,
+		loopir.ForLoop("c3", 4, opaqueStmt(a)))
+	prog := &loopir.Program{Name: "figure2", Body: []loopir.Node{
+		loopir.ForLoop("l1", 4, nest1, nest2, nest3),
+	}}
+	return prog, a
+}
+
+func TestPropagationFigure2(t *testing.T) {
+	prog, _ := buildFigure2(t)
+	Annotate(prog, Default())
+	loops := loopir.Loops(prog.Body)
+	// Pre-order: l1, a2, a3, a4, b2, c2, c3.
+	wants := map[string]loopir.Preference{
+		"l1": loopir.PrefMixed,
+		"a2": loopir.PrefHardware, // propagated from a4 through a3
+		"a3": loopir.PrefHardware,
+		"a4": loopir.PrefHardware,
+		"b2": loopir.PrefSoftware,
+		"c2": loopir.PrefHardware,
+		"c3": loopir.PrefHardware,
+	}
+	for _, l := range loops {
+		if want := wants[l.Var]; l.Pref != want {
+			t.Errorf("loop %s: %v, want %v", l.Var, l.Pref, want)
+		}
+	}
+}
+
+func TestMarkersFigure2(t *testing.T) {
+	prog, _ := buildFigure2(t)
+	st := Detect(prog, Default())
+	if st.HardwareLoops != 5 || st.SoftwareLoops != 1 || st.MixedLoops != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The resulting structure (paper Figure 2(c)): inside the level-1
+	// loop, ON before the first nest, OFF before the middle nest, ON
+	// before the last nest. The trailing state is handled by the next
+	// region or program end.
+	outer := prog.Body[0].(*loopir.Loop)
+	var seq []string
+	for _, n := range outer.Body {
+		switch n := n.(type) {
+		case *loopir.Marker:
+			if n.On {
+				seq = append(seq, "ON")
+			} else {
+				seq = append(seq, "OFF")
+			}
+		case *loopir.Loop:
+			seq = append(seq, "loop:"+n.Var)
+		}
+	}
+	want := []string{"ON", "loop:a2", "OFF", "loop:b2", "ON", "loop:c2"}
+	if len(seq) != len(want) {
+		t.Fatalf("sequence %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestEliminationPreservesSemantics(t *testing.T) {
+	// Property: the hardware state observed at every access is identical
+	// with and without the redundancy-elimination pass (elimination may
+	// only remove markers that never change the state).
+	build := func(eliminate bool) []bool {
+		prog, _ := buildFigure2(t)
+		cfg := Default()
+		cfg.Eliminate = eliminate
+		Detect(prog, cfg)
+		sink := &stateRecorder{}
+		loopir.Run(prog, sink)
+		return sink.states
+	}
+	naive := build(false)
+	elim := build(true)
+	if len(naive) != len(elim) {
+		t.Fatalf("access counts differ: %d vs %d", len(naive), len(elim))
+	}
+	for i := range naive {
+		if naive[i] != elim[i] {
+			t.Fatalf("access %d: state %v with naive markers, %v after elimination", i, naive[i], elim[i])
+		}
+	}
+	if len(naive) == 0 {
+		t.Fatal("no accesses recorded")
+	}
+}
+
+// stateRecorder tracks the hardware flag and records it at each access.
+type stateRecorder struct {
+	on     bool
+	states []bool
+}
+
+func (c *stateRecorder) Access(mem.Addr, uint8, bool) { c.states = append(c.states, c.on) }
+func (c *stateRecorder) Compute(int)                  {}
+func (c *stateRecorder) Marker(on bool)               { c.on = on }
+
+func TestAllSoftwareProgramHasNoMarkers(t *testing.T) {
+	a := newArr(t)
+	prog := &loopir.Program{Body: []loopir.Node{
+		loopir.ForLoop("i", 4, affineStmt(a, "i")),
+		loopir.ForLoop("j", 4, affineStmt(a, "j")),
+	}}
+	st := Detect(prog, Default())
+	if got := MarkerCount(prog); got != 0 {
+		t.Fatalf("%d markers in an all-software program (inserted %d, eliminated %d)",
+			got, st.Inserted, st.Eliminated)
+	}
+}
+
+func TestAllHardwareProgramHasOneMarker(t *testing.T) {
+	a := newArr(t)
+	prog := &loopir.Program{Body: []loopir.Node{
+		loopir.ForLoop("i", 4, opaqueStmt(a)),
+		loopir.ForLoop("j", 4, opaqueStmt(a)),
+	}}
+	Detect(prog, Default())
+	if got := MarkerCount(prog); got != 1 {
+		t.Fatalf("%d markers in an all-hardware program, want 1 leading ON", got)
+	}
+	if m, ok := prog.Body[0].(*loopir.Marker); !ok || !m.On {
+		t.Fatal("program does not start with an ON marker")
+	}
+}
+
+func TestSandwichedStatementConsensus(t *testing.T) {
+	// When every inner loop agrees, the consensus covers sandwiched
+	// statements too (Section 2.2: references between the nests are
+	// optimized the same way), so the whole outer loop gets one marker.
+	a := newArr(t)
+	prog := &loopir.Program{Body: []loopir.Node{
+		loopir.ForLoop("l1", 2,
+			loopir.ForLoop("hw", 2, opaqueStmt(a)),
+			affineStmt(a, "l1"), // sandwiched
+			loopir.ForLoop("hw2", 2, opaqueStmt(a)),
+		),
+	}}
+	Detect(prog, Default())
+	if m, ok := prog.Body[0].(*loopir.Marker); !ok || !m.On {
+		t.Fatalf("consensus-hardware loop not preceded by ON: %T", prog.Body[0])
+	}
+	if MarkerCount(prog) != 1 {
+		t.Fatalf("marker count %d, want 1", MarkerCount(prog))
+	}
+}
+
+func TestSandwichedStatementMixed(t *testing.T) {
+	// In a genuinely mixed loop, a sandwiched statement is treated as a
+	// one-iteration imaginary loop and classified by its own references.
+	a := newArr(t)
+	prog := &loopir.Program{Body: []loopir.Node{
+		loopir.ForLoop("l1", 2,
+			loopir.ForLoop("hw", 2, opaqueStmt(a)),
+			affineStmt(a, "l1"), // sandwiched, analyzable -> deactivate
+			loopir.ForLoop("sw", 2, affineStmt(a, "sw")),
+		),
+	}}
+	Detect(prog, Default())
+	outer := prog.Body[0].(*loopir.Loop)
+	var kinds []string
+	for _, n := range outer.Body {
+		switch n := n.(type) {
+		case *loopir.Marker:
+			if n.On {
+				kinds = append(kinds, "ON")
+			} else {
+				kinds = append(kinds, "OFF")
+			}
+		case *loopir.Loop:
+			kinds = append(kinds, "L")
+		case *loopir.Stmt:
+			kinds = append(kinds, "S")
+		}
+	}
+	// ON before the hardware nest, OFF before the sandwiched statement;
+	// the software nest's OFF is redundant and eliminated.
+	want := []string{"ON", "L", "OFF", "S", "L"}
+	if len(kinds) != len(want) {
+		t.Fatalf("structure %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("structure %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestPropagationDisabled(t *testing.T) {
+	// With propagation off, an enclosing loop is classified by its own
+	// contained references rather than by its children's consensus.
+	a := newArr(t)
+	prog := &loopir.Program{Body: []loopir.Node{
+		loopir.ForLoop("outer", 2,
+			loopir.ForLoop("inner", 2, opaqueStmt(a))),
+	}}
+	cfg := Default()
+	cfg.Propagate = false
+	Annotate(prog, cfg)
+	outer := loopir.Loops(prog.Body)[0]
+	// The outer loop's references (all inside inner) are opaque, so it
+	// is hardware either way here; the difference shows on mixed bodies.
+	if outer.Pref != loopir.PrefHardware {
+		t.Fatalf("outer = %v", outer.Pref)
+	}
+}
+
+func TestRefRatio(t *testing.T) {
+	a := newArr(t)
+	refs := []loopir.Ref{
+		loopir.AffineRef(a, false, loopir.VarExpr("i"), loopir.ConstExpr(0)),
+		loopir.OpaqueRef(loopir.ClassPointer, a, false),
+		loopir.OpaqueRef(loopir.ClassStruct, a, false),
+		loopir.AffineRef(a, true, loopir.VarExpr("i"), loopir.ConstExpr(1)),
+	}
+	if got := RefRatio(refs); got != 0.5 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if got := RefRatio(nil); got != 1 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+}
+
+func TestEliminateIdempotent(t *testing.T) {
+	prog, _ := buildFigure2(t)
+	Detect(prog, Default())
+	before := MarkerCount(prog)
+	if removed := Eliminate(prog); removed != 0 {
+		t.Fatalf("second elimination removed %d markers", removed)
+	}
+	if MarkerCount(prog) != before {
+		t.Fatal("marker count changed without removals reported")
+	}
+}

@@ -1,0 +1,80 @@
+// Package report renders experiment results as aligned text tables, in the
+// layout of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"selcache/internal/core"
+	"selcache/internal/experiments"
+	"selcache/internal/workloads"
+)
+
+// WriteFigure renders one per-benchmark improvement sweep (the paper's
+// Figures 4–9 show the same four bars per benchmark).
+func WriteFigure(w io.Writer, title string, sw experiments.Sweep) {
+	fmt.Fprintf(w, "%s  [machine=%s, mechanism=%s]\n", title, sw.Config.Name, sw.Mechanism)
+	fmt.Fprintf(w, "%-10s %-9s %13s %13s %13s %13s\n",
+		"benchmark", "class", "pure-hw", "pure-sw", "combined", "selective")
+	line := strings.Repeat("-", 78)
+	fmt.Fprintln(w, line)
+	for _, row := range sw.Rows {
+		fmt.Fprintf(w, "%-10s %-9s %12.2f%% %12.2f%% %12.2f%% %12.2f%%\n",
+			row.Benchmark, row.Class,
+			row.Improv[core.PureHardware], row.Improv[core.PureSoftware],
+			row.Improv[core.Combined], row.Improv[core.Selective])
+	}
+	fmt.Fprintln(w, line)
+	fmt.Fprintf(w, "%-20s %12.2f%% %12.2f%% %12.2f%% %12.2f%%\n", "average",
+		sw.Avg[core.PureHardware], sw.Avg[core.PureSoftware],
+		sw.Avg[core.Combined], sw.Avg[core.Selective])
+	fmt.Fprintln(w)
+}
+
+// WriteTable2 renders the benchmark-characteristics table.
+func WriteTable2(w io.Writer, rows []experiments.Table2Row) {
+	fmt.Fprintln(w, "Table 2: Benchmark characteristics (base configuration)")
+	fmt.Fprintf(w, "%-10s %-9s %14s %9s %9s %10s\n",
+		"benchmark", "class", "instructions", "L1 miss", "L2 miss", "conflict%")
+	line := strings.Repeat("-", 68)
+	fmt.Fprintln(w, line)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-9s %14d %8.2f%% %8.2f%% %9.1f%%\n",
+			r.Benchmark, r.Class, r.Instructions, r.L1MissPct, r.L2MissPct, r.ConflictPct)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteTable3 renders the average-improvement summary across machine
+// configurations and both hardware mechanisms.
+func WriteTable3(w io.Writer, rows []experiments.Table3Row) {
+	fmt.Fprintln(w, "Table 3: Average improvements (%)")
+	fmt.Fprintf(w, "%-16s %8s %8s %9s %9s %8s %9s %9s\n",
+		"experiment", "pure-sw", "bypass", "comb/byp", "sel/byp", "victim", "comb/vic", "sel/vic")
+	line := strings.Repeat("-", 84)
+	fmt.Fprintln(w, line)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8.2f %8.2f %9.2f %9.2f %8.2f %9.2f %9.2f\n",
+			r.Config, r.PureSoftware, r.CacheBypass, r.CombinedBypass,
+			r.SelectiveBypass, r.VictimCache, r.CombinedVictim, r.SelectiveVictim)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteClassAverages renders the per-class averages quoted throughout the
+// paper's Section 5.1 prose.
+func WriteClassAverages(w io.Writer, sw experiments.Sweep) {
+	fmt.Fprintln(w, "Per-class average improvements (%):")
+	for _, class := range []workloads.Class{workloads.Regular, workloads.Irregular, workloads.Mixed} {
+		m := sw.ClassAvg[class]
+		if m == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s hw=%6.2f sw=%6.2f combined=%6.2f selective=%6.2f\n",
+			class, m[core.PureHardware], m[core.PureSoftware],
+			m[core.Combined], m[core.Selective])
+	}
+	fmt.Fprintln(w)
+}

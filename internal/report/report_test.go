@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"selcache/internal/core"
+	"selcache/internal/experiments"
+	"selcache/internal/sim"
+	"selcache/internal/workloads"
+)
+
+func sampleSweep() experiments.Sweep {
+	return experiments.Sweep{
+		Config:    sim.Base(),
+		Mechanism: sim.HWBypass,
+		Rows: []experiments.Row{{
+			Benchmark: "demo",
+			Class:     workloads.Regular,
+			Improv: map[core.Version]float64{
+				core.PureHardware: 1.5, core.PureSoftware: 20,
+				core.Combined: 19, core.Selective: 21,
+			},
+		}},
+		Avg: map[core.Version]float64{
+			core.PureHardware: 1.5, core.PureSoftware: 20,
+			core.Combined: 19, core.Selective: 21,
+		},
+		ClassAvg: map[workloads.Class]map[core.Version]float64{
+			workloads.Regular: {core.Selective: 21},
+		},
+	}
+}
+
+func TestWriteFigure(t *testing.T) {
+	var b strings.Builder
+	WriteFigure(&b, "Figure X", sampleSweep())
+	out := b.String()
+	for _, want := range []string{"Figure X", "demo", "regular", "21.00%", "average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTable2(t *testing.T) {
+	var b strings.Builder
+	WriteTable2(&b, []experiments.Table2Row{{
+		Benchmark: "demo", Class: workloads.Mixed,
+		Instructions: 123456, L1MissPct: 4.5, L2MissPct: 6.7, ConflictPct: 55,
+	}})
+	out := b.String()
+	for _, want := range []string{"Table 2", "demo", "123456", "4.50%", "55.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTable3(t *testing.T) {
+	var b strings.Builder
+	WriteTable3(&b, []experiments.Table3Row{{
+		Config: "base", PureSoftware: 16.12, CacheBypass: 5.07,
+		CombinedBypass: 17.37, SelectiveBypass: 24.98,
+		VictimCache: 1.38, CombinedVictim: 16.45, SelectiveVictim: 23.82,
+	}})
+	out := b.String()
+	for _, want := range []string{"Table 3", "base", "24.98", "1.38"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteClassAveragesDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	WriteClassAverages(&a, sampleSweep())
+	WriteClassAverages(&b, sampleSweep())
+	if a.String() != b.String() {
+		t.Fatal("class-average rendering not deterministic")
+	}
+	if !strings.Contains(a.String(), "regular") {
+		t.Fatalf("missing class row:\n%s", a.String())
+	}
+}

@@ -1,0 +1,58 @@
+package tlb
+
+import (
+	"testing"
+
+	"selcache/internal/mem"
+)
+
+func TestTranslateMissThenHit(t *testing.T) {
+	tl := New(Config{Entries: 8, Assoc: 2, PageSize: 4096})
+	if tl.Translate(0x1000) {
+		t.Fatal("cold translation hit")
+	}
+	if !tl.Translate(0x1FFF) {
+		t.Fatal("same-page translation missed")
+	}
+	if tl.Translate(0x2000) {
+		t.Fatal("next page hit")
+	}
+	if tl.Stats.Accesses != 3 || tl.Stats.Misses != 2 {
+		t.Fatalf("stats %+v", tl.Stats)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 4 sets x 2 ways; pages mapping to set 0 are 4 pages apart.
+	tl := New(Config{Entries: 8, Assoc: 2, PageSize: 4096})
+	page := func(n int) mem.Addr { return mem.Addr(n) * 4 * 4096 }
+	tl.Translate(page(0))
+	tl.Translate(page(1))
+	tl.Translate(page(0)) // refresh 0; 1 is LRU
+	tl.Translate(page(2)) // evicts 1
+	if !tl.Translate(page(0)) {
+		t.Fatal("refreshed page was evicted")
+	}
+	if tl.Translate(page(1)) {
+		t.Fatal("evicted page still translated")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Entries: 0, Assoc: 1, PageSize: 4096},
+		{Entries: 8, Assoc: 0, PageSize: 4096},
+		{Entries: 8, Assoc: 2, PageSize: 1000},
+		{Entries: 6, Assoc: 2, PageSize: 4096}, // 3 sets
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: expected panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"testing"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+func runCtx(t *testing.T, f func(*loopir.Ctx)) *mem.CountingEmitter {
+	t.Helper()
+	var c mem.CountingEmitter
+	p := &loopir.Program{Body: []loopir.Node{&loopir.Stmt{Run: f}}}
+	loopir.Run(p, &c)
+	return &c
+}
+
+func TestChainMapLookupInsert(t *testing.T) {
+	sp := mem.NewSpace()
+	m := newChainMap(sp, "m", 16, 32)
+	m.insertQuiet(100, 1)
+	m.insertQuiet(200, 2)
+	c := runCtx(t, func(ctx *loopir.Ctx) {
+		if v, ok := m.lookup(ctx, 100); !ok || v != 1 {
+			t.Errorf("lookup(100) = (%d,%v)", v, ok)
+		}
+		if _, ok := m.lookup(ctx, 999); ok {
+			t.Error("found a missing key")
+		}
+		if !m.insert(ctx, 300, 3) {
+			t.Error("insert failed with capacity available")
+		}
+		if v, ok := m.lookup(ctx, 300); !ok || v != 3 {
+			t.Errorf("lookup(300) = (%d,%v)", v, ok)
+		}
+	})
+	if c.Accesses() == 0 {
+		t.Fatal("chain operations emitted nothing")
+	}
+}
+
+func TestChainMapCapacity(t *testing.T) {
+	sp := mem.NewSpace()
+	m := newChainMap(sp, "m", 4, 2)
+	runCtx(t, func(ctx *loopir.Ctx) {
+		if !m.insert(ctx, 1, 1) || !m.insert(ctx, 2, 2) {
+			t.Error("inserts under capacity failed")
+		}
+		if m.insert(ctx, 3, 3) {
+			t.Error("insert over capacity succeeded")
+		}
+	})
+}
+
+func TestChainMapResetAndClearLoop(t *testing.T) {
+	sp := mem.NewSpace()
+	m := newChainMap(sp, "m", 8, 8)
+	m.insertQuiet(5, 50)
+	m.resetQuiet()
+	runCtx(t, func(ctx *loopir.Ctx) {
+		if _, ok := m.lookup(ctx, 5); ok {
+			t.Error("entry survived reset")
+		}
+	})
+	// The clear loop is an analyzable bucket-zeroing pass.
+	loop := m.clearLoop("z")
+	var c mem.CountingEmitter
+	loopir.Run(&loopir.Program{Body: []loopir.Node{loop}}, &c)
+	if c.Writes != 8 {
+		t.Fatalf("clear loop wrote %d cells, want 8", c.Writes)
+	}
+	for _, r := range loopir.Refs([]loopir.Node{loop}) {
+		if !r.Class.Analyzable() {
+			t.Fatal("clear loop is not analyzable")
+		}
+	}
+}

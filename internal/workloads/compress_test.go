@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"testing"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// TestCompressRoundTrip proves the compress workload is a genuine LZW
+// coder: the code stream it writes to the output array decodes back to the
+// input corpus, block by block.
+//
+// The decoder mirrors the encoder's capacity behaviour (an open-addressing
+// table with a probe cap and a fill ceiling decides which dictionary
+// entries exist), then performs standard LZW decoding including the
+// KwKwK case (a code referenced on the step after its creation).
+func TestCompressRoundTrip(t *testing.T) {
+	prog := Compress().Build()
+	var sink mem.CountingEmitter
+	loopir.Run(prog, &sink)
+
+	// Recover the arrays by rebuilding: Build is deterministic, so a
+	// fresh instance has identical backing data, and we re-run it to
+	// fill the output array.
+	prog2 := Compress().Build()
+	in, out := findArray(t, prog2, "input"), findArray(t, prog2, "output")
+	var sink2 mem.CountingEmitter
+	loopir.Run(prog2, &sink2)
+	if sink != sink2 {
+		t.Fatal("compress runs diverge")
+	}
+
+	// Walk the output codes block by block.
+	outPos := 0
+	readCode := func() int64 {
+		v := out.Data(outPos, 0)
+		outPos++
+		return v
+	}
+
+	for blk := 0; blk < compressInput/compressBlock; blk++ {
+		want := make([]byte, 0, compressBlock)
+		for i := 0; i < compressBlock; i++ {
+			want = append(want, byte(in.Data(blk*compressBlock+i, 0)))
+		}
+		got := decodeBlock(t, readCode, len(want))
+		if len(got) != len(want) {
+			t.Fatalf("block %d: decoded %d bytes, want %d", blk, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("block %d: byte %d = %q, want %q", blk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// decodeBlock consumes codes until total input bytes are reconstructed.
+func decodeBlock(t *testing.T, readCode func() int64, total int) []byte {
+	t.Helper()
+	// Mirror of the encoder's dictionary: code -> expansion, plus the
+	// open-addressing slot table that decides whether each insert
+	// succeeded.
+	expansion := map[int64][]byte{}
+	var slots [compressHtabSize]int64
+	nextCode := int64(256)
+	insert := func(key int64) bool {
+		if nextCode >= compressMaxFill {
+			return false
+		}
+		h := int(uint64(key) * 0x9E3779B97F4A7C15 >> 52 % compressHtabSize)
+		disp := 1 + int(key)%97
+		for probe := 0; probe < compressMaxLen; probe++ {
+			if slots[h] == 0 {
+				slots[h] = key
+				return true
+			}
+			if slots[h] == key {
+				// The encoder would have found it; no new entry.
+				return false
+			}
+			h = (h + disp) % compressHtabSize
+		}
+		return false
+	}
+	expand := func(code int64) []byte {
+		if code < 256 {
+			return []byte{byte(code)}
+		}
+		e, ok := expansion[code]
+		if !ok {
+			t.Fatalf("decoder: unknown code %d", code)
+		}
+		return e
+	}
+
+	var outBytes []byte
+	prev := readCode()
+	outBytes = append(outBytes, expand(prev)...)
+	for len(outBytes) < total {
+		cur := readCode()
+		var curBytes []byte
+		if cur < 256 || expansion[cur] != nil {
+			curBytes = expand(cur)
+		} else {
+			// KwKwK: the code was created by the immediately
+			// preceding step.
+			p := expand(prev)
+			curBytes = append(append([]byte{}, p...), p[0])
+		}
+		// Mirror the encoder's insert for (prev, first byte of cur).
+		key := prev<<9 | int64(curBytes[0])
+		if insert(key) {
+			entry := append(append([]byte{}, expand(prev)...), curBytes[0])
+			expansion[nextCode] = entry
+			nextCode++
+		}
+		outBytes = append(outBytes, curBytes...)
+		prev = cur
+	}
+	return outBytes
+}
+
+// findArray digs a named array out of a workload program via its
+// statements' references.
+func findArray(t *testing.T, p *loopir.Program, name string) *mem.Array {
+	t.Helper()
+	for _, s := range loopir.Stmts(p.Body) {
+		for _, r := range s.Refs {
+			if r.Array != nil && r.Array.Name == name {
+				return r.Array
+			}
+		}
+	}
+	t.Fatalf("array %q not found in program", name)
+	return nil
+}

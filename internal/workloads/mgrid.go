@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// Mgrid models the SPEC95 multigrid solver: residual (resid) and smoother
+// (psinv) 3-D stencils on a fine grid, restriction (rprj3) onto a coarse
+// grid and interpolation (interp) back. The base traversal walks the first
+// dimension innermost — a plane stride per iteration in row-major storage.
+func Mgrid() Workload {
+	return Workload{
+		Name:   "mgrid",
+		Class:  Regular,
+		Models: "SpecFP95 mgrid (multigrid V-cycle stencils)",
+		Build:  buildMgrid,
+	}
+}
+
+const (
+	mgridN      = 36 // fine-grid edge (interior); extents are N+2
+	mgridCycles = 2
+)
+
+func buildMgrid() *loopir.Program {
+	sp := mem.NewSpace()
+	d := mgridN + 2
+	dc := mgridN/2 + 2
+	cube := func(name string, e int) *mem.Array { return mem.NewPaddedArray(sp, name, 8, 1, e, e, e) }
+	u, vv, r := cube("U", d), cube("V", d), cube("R", d)
+	uc, rc := cube("UC", dc), cube("RC", dc)
+
+	prog := &loopir.Program{Name: "mgrid"}
+
+	// ref7 builds a 7-point stencil reference set around [i][j][k] on
+	// array a, vars named by prefix.
+	ref7 := func(a *mem.Array, i, j, k string) []loopir.Ref {
+		return []loopir.Ref{
+			loopir.AffineRef(a, false, v(i), v(j), v(k)),
+			loopir.AffineRef(a, false, vp(i, 1), v(j), v(k)),
+			loopir.AffineRef(a, false, vp(i, -1), v(j), v(k)),
+			loopir.AffineRef(a, false, v(i), vp(j, 1), v(k)),
+			loopir.AffineRef(a, false, v(i), vp(j, -1), v(k)),
+			loopir.AffineRef(a, false, v(i), v(j), vp(k, 1)),
+			loopir.AffineRef(a, false, v(i), v(j), vp(k, -1)),
+		}
+	}
+
+	for cyc := 0; cyc < mgridCycles; cyc++ {
+		s := itoa(cyc)
+		// resid: R = V - A*U (7-point). Hostile order: i innermost.
+		residRefs := append([]loopir.Ref{
+			loopir.AffineRef(r, true, v("i"), v("j"), v("k")),
+			loopir.AffineRef(vv, false, v("i"), v("j"), v("k")),
+		}, ref7(u, "i", "j", "k")...)
+		resid := &loopir.Stmt{Name: "resid", Refs: residRefs, Compute: 14}
+		prog.Body = append(prog.Body, nest3D("k"+s+"r", "j"+s+"r", "i"+s+"r", 1, mgridN+1, resid))
+
+		// psinv: U += S*R (7-point smoother).
+		psinvRefs := append([]loopir.Ref{
+			loopir.AffineRef(u, true, v("i"), v("j"), v("k")),
+			loopir.AffineRef(u, false, v("i"), v("j"), v("k")),
+		}, ref7(r, "i", "j", "k")...)
+		psinv := &loopir.Stmt{Name: "psinv", Refs: psinvRefs, Compute: 14}
+		prog.Body = append(prog.Body, nest3D("k"+s+"p", "j"+s+"p", "i"+s+"p", 1, mgridN+1, psinv))
+
+		// rprj3: restrict R to the coarse grid (stride-2 gathers).
+		rprj := &loopir.Stmt{Name: "rprj3", Refs: []loopir.Ref{
+			loopir.AffineRef(rc, true, v("i"), v("j"), v("k")),
+			loopir.AffineRef(r, false, sv(2, "i"), sv(2, "j"), sv(2, "k")),
+			loopir.AffineRef(r, false, loopir.AxPlusB(2, "i", 1), sv(2, "j"), sv(2, "k")),
+			loopir.AffineRef(r, false, sv(2, "i"), loopir.AxPlusB(2, "j", 1), sv(2, "k")),
+			loopir.AffineRef(r, false, sv(2, "i"), sv(2, "j"), loopir.AxPlusB(2, "k", 1)),
+		}, Compute: 10}
+		prog.Body = append(prog.Body, nest3D("k"+s+"q", "j"+s+"q", "i"+s+"q", 1, mgridN/2+1, rprj))
+
+		// Coarse smooth on UC.
+		coarseRefs := append([]loopir.Ref{
+			loopir.AffineRef(uc, true, v("i"), v("j"), v("k")),
+			loopir.AffineRef(uc, false, v("i"), v("j"), v("k")),
+		}, ref7(rc, "i", "j", "k")...)
+		coarse := &loopir.Stmt{Name: "coarse-psinv", Refs: coarseRefs, Compute: 14}
+		prog.Body = append(prog.Body, nest3D("k"+s+"c", "j"+s+"c", "i"+s+"c", 1, mgridN/2+1, coarse))
+
+		// interp: prolongate UC back into U.
+		interp := &loopir.Stmt{Name: "interp", Refs: []loopir.Ref{
+			loopir.AffineRef(u, true, sv(2, "i"), sv(2, "j"), sv(2, "k")),
+			loopir.AffineRef(u, false, sv(2, "i"), sv(2, "j"), sv(2, "k")),
+			loopir.AffineRef(uc, false, v("i"), v("j"), v("k")),
+			loopir.AffineRef(uc, false, vp("i", 1), v("j"), v("k")),
+		}, Compute: 8}
+		prog.Body = append(prog.Body, nest3D("k"+s+"i", "j"+s+"i", "i"+s+"i", 1, mgridN/2, interp))
+	}
+	return prog
+}
+
+// nest3D builds the hostile base traversal for x dimension 0 innermost:
+// for kv { for jv { for iv { stmt } } } with the statement's generic i/j/k
+// renamed to the nest's variables.
+func nest3D(kv, jv, iv string, lo, hi int, s *loopir.Stmt) *loopir.Loop {
+	body := renameStmtVars(s, "i", iv, "j", jv, "k", kv)
+	return loopir.ForRange(kv, c(lo), c(hi),
+		loopir.ForRange(jv, c(lo), c(hi),
+			loopir.ForRange(iv, c(lo), c(hi), body)))
+}

@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"selcache/internal/db"
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// Perl models the SpecInt95 perl interpreter's memory behaviour: a hot
+// symbol table probed several times per interpreted operation (Zipf-like
+// symbol popularity), a large user associative array with skewed keys, and
+// a string/value arena that grows (circularly here) as the script runs.
+// The hot tables reward caching; the arena is a cold stream that, without
+// the bypass mechanism, continually evicts them.
+func Perl() Workload {
+	return Workload{
+		Name:   "perl",
+		Class:  Irregular,
+		Models: "SpecInt95 perl (interpreter symbol/associative tables)",
+		Build:  buildPerl,
+	}
+}
+
+const (
+	perlSymbols    = 400
+	perlSymBuckets = 512
+	perlAssocCap   = 3000
+	perlAssocBkts  = 1024
+	perlArenaWords = 64 << 10 // 512 KB
+	perlOps        = 50000
+)
+
+func buildPerl() *loopir.Program {
+	sp := mem.NewSpace()
+	sym := newChainMap(sp, "symtab", perlSymBuckets, perlSymbols)
+	assoc := newChainMap(sp, "assoc", perlAssocBkts, perlAssocCap)
+	arena := mem.NewArray(sp, "arena", 8, perlArenaWords, 1)
+
+	rng := db.NewRNG(0x5EED_9E81)
+	for s := 0; s < perlSymbols; s++ {
+		sym.insertQuiet(int64(s*7+1), int64(s))
+	}
+	for e := 0; e < perlAssocCap; e++ {
+		assoc.insertQuiet(int64(e*13+5), int64(e))
+	}
+
+	arenaPos := 0
+	opStmt := &loopir.Stmt{
+		Name: "interp-op",
+		Refs: append(append(
+			sym.opaqueRefs(false),
+			assoc.opaqueRefs(true)...),
+			loopir.OpaqueRef(loopir.ClassPointer, arena, true),
+			loopir.OpaqueRef(loopir.ClassStruct, arena, false),
+		),
+		Run: func(ctx *loopir.Ctx) {
+			ctx.Compute(24)
+			// Three symbol lookups per op, Zipf-popular symbols.
+			for k := 0; k < 3; k++ {
+				s := rng.Skewed(perlSymbols, 3)
+				if _, ok := sym.lookup(ctx, int64(s*7+1)); !ok {
+					ctx.Compute(1)
+				}
+			}
+			// One associative-array operation with skewed keys; a
+			// quarter of them are stores.
+			e := rng.Skewed(perlAssocCap, 3.5)
+			if _, ok := assoc.lookup(ctx, int64(e*13+5)); ok && rng.Intn(4) == 0 {
+				// Re-store through the value array (slot == e by
+				// construction of insertQuiet order).
+				assoc.update(ctx, e, int64(e))
+			}
+			// String/value arena append: ten sequential words.
+			for w := 0; w < 10; w++ {
+				ctx.Store(arena, arenaPos, 0)
+				arenaPos++
+				if arenaPos == perlArenaWords {
+					arenaPos = 0
+				}
+			}
+		},
+	}
+
+	return &loopir.Program{
+		Name: "perl",
+		Body: []loopir.Node{loopir.ForLoop("op", perlOps, opStmt)},
+	}
+}

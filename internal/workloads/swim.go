@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// Swim models the SPEC95 shallow-water code: three 9-array stencil sweeps
+// (calc1 computes fluxes CU/CV and vorticity Z, calc2 advances UNEW/VNEW/
+// PNEW, calc3 copies state forward) iterated over time steps. The base
+// program keeps the Fortran column traversal after a naive translation to
+// row-major storage: the inner loop walks the first dimension, so every
+// reference strides by a whole row — the classic locality bug the
+// compiler's interchange/layout passes exist to fix.
+func Swim() Workload {
+	return Workload{
+		Name:   "swim",
+		Class:  Regular,
+		Models: "SpecFP95 swim (shallow water stencils)",
+		Build:  buildSwim,
+	}
+}
+
+// swimN is the grid edge; extents are N+2 to keep the i+1/j+1 stencil
+// references in range.
+const (
+	swimN     = 144
+	swimSteps = 2
+)
+
+func buildSwim() *loopir.Program {
+	sp := mem.NewSpace()
+	d := swimN + 2
+	arr := func(name string) *mem.Array { return mem.NewPaddedArray(sp, name, 8, 1, d, d) }
+	u, vv, p := arr("U"), arr("V"), arr("P")
+	unew, vnew, pnew := arr("UNEW"), arr("VNEW"), arr("PNEW")
+	cu, cv, z, h := arr("CU"), arr("CV"), arr("Z"), arr("H")
+
+	prog := &loopir.Program{Name: "swim"}
+	for step := 0; step < swimSteps; step++ {
+		it := func(base string) string { return base + itoa(step) }
+
+		// calc1: fluxes and vorticity. Inner loop i walks dimension 0
+		// (row stride) — the hostile base order.
+		calc1 := stmt("calc1", 12,
+			loopir.AffineRef(cu, true, vp("i1", 1), v("j1")),
+			loopir.AffineRef(p, false, vp("i1", 1), v("j1")),
+			loopir.AffineRef(p, false, v("i1"), v("j1")),
+			loopir.AffineRef(u, false, vp("i1", 1), v("j1")),
+			loopir.AffineRef(cv, true, v("i1"), vp("j1", 1)),
+			loopir.AffineRef(p, false, v("i1"), vp("j1", 1)),
+			loopir.AffineRef(vv, false, v("i1"), vp("j1", 1)),
+			loopir.AffineRef(z, true, vp("i1", 1), vp("j1", 1)),
+			loopir.AffineRef(vv, false, vp("i1", 1), vp("j1", 1)),
+			loopir.AffineRef(u, false, vp("i1", 1), vp("j1", 1)),
+			loopir.AffineRef(h, true, v("i1"), v("j1")),
+			loopir.AffineRef(u, false, v("i1"), v("j1")),
+			loopir.AffineRef(vv, false, v("i1"), v("j1")),
+		)
+		nest1 := loopir.ForLoop(it("j1"), swimN,
+			loopir.ForLoop(it("i1"), swimN, renameStmtVars(calc1, "i1", it("i1"), "j1", it("j1"))),
+		)
+
+		// calc2: advance the state one half step.
+		calc2 := stmt("calc2", 14,
+			loopir.AffineRef(unew, true, vp("i2", 1), v("j2")),
+			loopir.AffineRef(u, false, vp("i2", 1), v("j2")),
+			loopir.AffineRef(z, false, vp("i2", 1), vp("j2", 1)),
+			loopir.AffineRef(cv, false, vp("i2", 1), vp("j2", 1)),
+			loopir.AffineRef(cv, false, v("i2"), v("j2")),
+			loopir.AffineRef(h, false, vp("i2", 1), v("j2")),
+			loopir.AffineRef(h, false, v("i2"), v("j2")),
+			loopir.AffineRef(vnew, true, v("i2"), vp("j2", 1)),
+			loopir.AffineRef(vv, false, v("i2"), vp("j2", 1)),
+			loopir.AffineRef(cu, false, vp("i2", 1), vp("j2", 1)),
+			loopir.AffineRef(cu, false, v("i2"), v("j2")),
+			loopir.AffineRef(pnew, true, v("i2"), v("j2")),
+			loopir.AffineRef(p, false, v("i2"), v("j2")),
+			loopir.AffineRef(cu, false, vp("i2", 1), v("j2")),
+			loopir.AffineRef(cv, false, v("i2"), vp("j2", 1)),
+		)
+		nest2 := loopir.ForLoop(it("j2"), swimN,
+			loopir.ForLoop(it("i2"), swimN, renameStmtVars(calc2, "i2", it("i2"), "j2", it("j2"))),
+		)
+
+		// calc3: time smoothing / copy-forward.
+		calc3 := stmt("calc3", 8,
+			loopir.AffineRef(u, true, v("i3"), v("j3")),
+			loopir.AffineRef(unew, false, v("i3"), v("j3")),
+			loopir.AffineRef(vv, true, v("i3"), v("j3")),
+			loopir.AffineRef(vnew, false, v("i3"), v("j3")),
+			loopir.AffineRef(p, true, v("i3"), v("j3")),
+			loopir.AffineRef(pnew, false, v("i3"), v("j3")),
+		)
+		nest3 := loopir.ForLoop(it("j3"), d,
+			loopir.ForLoop(it("i3"), d, renameStmtVars(calc3, "i3", it("i3"), "j3", it("j3"))),
+		)
+
+		// Periodic boundary fix-up rows (cheap 1-D loops).
+		bound := stmt("boundary", 4,
+			loopir.AffineRef(unew, true, c(0), v("jb")),
+			loopir.AffineRef(unew, false, c(swimN), v("jb")),
+			loopir.AffineRef(vnew, true, c(0), v("jb")),
+			loopir.AffineRef(vnew, false, c(swimN), v("jb")),
+		)
+		nestB := loopir.ForLoop(it("jb"), d, renameStmtVars(bound, "jb", it("jb")))
+
+		prog.Body = append(prog.Body, nest1, nest2, nestB, nest3)
+	}
+	return prog
+}
+
+// renameStmtVars rewrites induction-variable names inside a statement's
+// subscripts (pairs of old, new), so per-step loop variables stay unique.
+func renameStmtVars(s *loopir.Stmt, pairs ...string) *loopir.Stmt {
+	out := s.Clone().(*loopir.Stmt)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		oldName, newName := pairs[i], pairs[i+1]
+		if oldName == newName {
+			continue
+		}
+		for ri := range out.Refs {
+			for si := range out.Refs[ri].Subs {
+				out.Refs[ri].Subs[si] = out.Refs[ri].Subs[si].Subst(oldName, v(newName))
+			}
+		}
+	}
+	return out
+}
+
+// itoa is a tiny allocation-free int-to-string for loop-name suffixes.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

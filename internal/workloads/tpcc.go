@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"selcache/internal/db"
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// TPCC models a scaled-down TPC-C mix: new-order transactions (customer
+// lookup, per-item stock probes and updates through a hash index, order-line
+// appends) and payment transactions, interleaved with periodic order-line
+// report scans. The transaction phases are index-probe dominated
+// (hardware); the report scans are sequential column reads the compiler can
+// lay out (software) — the OLTP/OLAP phase mix the paper's TPC-C segment
+// exercises.
+func TPCC() Workload {
+	return Workload{
+		Name:   "tpc-c",
+		Class:  Mixed,
+		Models: "TPC-C new-order/payment mix with report scans",
+		Build:  buildTPCC,
+	}
+}
+
+const (
+	tpccItems     = 12000
+	tpccCustomers = 6000
+	tpccOrderLine = 30000
+	tpccNewOrders = 2500
+	tpccPayments  = 2500
+	tpccItemsPerO = 8
+)
+
+func buildTPCC() *loopir.Program {
+	sp := mem.NewSpace()
+	rng := db.NewRNG(0x7CC0_0001)
+	stock := db.GenStock(sp, rng, tpccItems)
+	cust := db.GenCCustomer(sp, rng, tpccCustomers)
+	oline := db.NewTable(sp, "orderline", tpccOrderLine, db.OrderLineCols...)
+
+	stockIdx := db.NewHashIndex(sp, stock, "itemid", 1<<15)
+	custIdx := db.NewHashIndex(sp, cust, "custid", 1<<14)
+	for r := 0; r < stock.Rows(); r++ {
+		stockIdx.InsertQuiet(r)
+	}
+	for r := 0; r < cust.Rows(); r++ {
+		custIdx.InsertQuiet(r)
+	}
+
+	olRow := 0
+	newOrder := &loopir.Stmt{
+		Name: "new-order",
+		Refs: []loopir.Ref{
+			loopir.OpaqueRef(loopir.ClassIndexed, custIdx.Buckets, false),
+			loopir.OpaqueRef(loopir.ClassPointer, cust.Cells, false),
+			loopir.OpaqueRef(loopir.ClassIndexed, stockIdx.Buckets, false),
+			loopir.OpaqueRef(loopir.ClassIndexed, stock.Cells, true),
+			loopir.OpaqueRef(loopir.ClassStruct, oline.Cells, true),
+		},
+		Run: func(ctx *loopir.Ctx) {
+			ctx.Compute(20)
+			ckey := int64(rng.Skewed(tpccCustomers, 3))
+			if row, ok := custIdx.Lookup(ctx, ckey); ok {
+				cust.LoadVal(ctx, row, "balance")
+			}
+			for l := 0; l < tpccItemsPerO; l++ {
+				item := int64(rng.Skewed(tpccItems, 3.5))
+				row, ok := stockIdx.Lookup(ctx, item)
+				if !ok {
+					continue
+				}
+				q := stock.LoadVal(ctx, row, "quantity")
+				stock.StoreVal(ctx, row, q-1, "quantity")
+				stock.StoreVal(ctx, row, stock.Get(row, "ytd")+1, "ytd")
+				// Order-line append: sequential row writes.
+				oline.StoreVal(ctx, olRow, item, "itemid")
+				oline.StoreVal(ctx, olRow, 1, "qty")
+				oline.StoreVal(ctx, olRow, 100, "amount")
+				olRow++
+				if olRow == tpccOrderLine {
+					olRow = 0
+				}
+			}
+		},
+	}
+
+	payment := &loopir.Stmt{
+		Name: "payment",
+		Refs: []loopir.Ref{
+			loopir.OpaqueRef(loopir.ClassIndexed, custIdx.Buckets, false),
+			loopir.OpaqueRef(loopir.ClassIndexed, cust.Cells, true),
+		},
+		Run: func(ctx *loopir.Ctx) {
+			ctx.Compute(12)
+			ckey := int64(rng.Skewed(tpccCustomers, 3))
+			if row, ok := custIdx.Lookup(ctx, ckey); ok {
+				b := cust.LoadVal(ctx, row, "balance")
+				cust.StoreVal(ctx, row, b-42, "balance")
+				cust.StoreVal(ctx, row, cust.Get(row, "ytdpayment")+42, "ytdpayment")
+			}
+		},
+	}
+
+	// Report scan: sum amount and qty over the order-line table —
+	// a sequential, analyzable pass.
+	report := func(suffix string) *loopir.Loop {
+		rv := "rep" + suffix
+		s := stmt("ol-report", 6,
+			oline.ScanRef(rv, "amount", false),
+			oline.ScanRef(rv, "qty", false),
+			oline.ScanRef(rv, "itemid", false),
+		)
+		return loopir.ForLoop(rv, tpccOrderLine, s)
+	}
+
+	return &loopir.Program{
+		Name: "tpc-c",
+		Body: []loopir.Node{
+			loopir.ForLoop("no1", tpccNewOrders, newOrder),
+			report("1"),
+			loopir.ForLoop("pay1", tpccPayments, payment),
+			report("2"),
+			loopir.ForLoop("no2", tpccNewOrders, newOrder.Clone().(*loopir.Stmt)),
+			report("3"),
+		},
+	}
+}

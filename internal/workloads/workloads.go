@@ -1,0 +1,108 @@
+// Package workloads re-implements the algorithmic cores of the paper's 13
+// benchmarks (Section 4.2) as loopir programs over the simulated address
+// space: SpecInt95 Perl/Compress/Li, SpecFP95 Swim/Applu/Mgrid, SpecFP92
+// Vpenta, Livermore Adi, Chaos, TPC-C and TPC-D Q1/Q3/Q6.
+//
+// Each workload builds its *base* program — the code an O3 compiler without
+// loop-nest optimization would emit: natural loop orders (including the
+// locality-hostile orders the original Fortran-to-C translations exhibit),
+// row-major layouts, aggressive array padding already applied. The
+// compiler packages derive the optimized and selective variants; nothing
+// optimized is hand-written here.
+package workloads
+
+import (
+	"fmt"
+
+	"selcache/internal/loopir"
+)
+
+// Class is the paper's access-pattern categorization (Section 4.2).
+type Class int
+
+const (
+	// Regular codes have compile-time-analyzable access patterns
+	// (Swim, Mgrid, Vpenta, Adi).
+	Regular Class = iota
+	// Irregular codes are dominated by accesses the compiler cannot
+	// analyze (Perl, Li, Compress, Applu).
+	Irregular
+	// Mixed codes interleave regular and irregular phases (Chaos and
+	// the TPC workloads).
+	Mixed
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case Regular:
+		return "regular"
+	case Irregular:
+		return "irregular"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Workload is one benchmark.
+type Workload struct {
+	// Name is the paper's benchmark name, lowercased.
+	Name string
+	// Class is the paper's categorization.
+	Class Class
+	// Models describes which original program the kernel reproduces.
+	Models string
+	// Build returns a fresh base program (new arrays every call).
+	Build func() *loopir.Program
+}
+
+// All returns the 13 benchmarks in the paper's Table 2 order.
+func All() []Workload {
+	return []Workload{
+		Perl(),
+		Compress(),
+		Li(),
+		Swim(),
+		Applu(),
+		Mgrid(),
+		Chaos(),
+		Vpenta(),
+		Adi(),
+		TPCC(),
+		TPCDQ1(),
+		TPCDQ3(),
+		TPCDQ6(),
+	}
+}
+
+// ByName finds a benchmark by name.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// ByClass filters benchmarks by class.
+func ByClass(c Class) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Class == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Shorthand expression constructors shared by the kernels.
+func v(name string) loopir.Expr         { return loopir.VarExpr(name) }
+func c(n int) loopir.Expr               { return loopir.ConstExpr(n) }
+func vp(name string, k int) loopir.Expr { return loopir.AxPlusB(1, name, k) }
+func sv(s int, name string) loopir.Expr { return loopir.AxPlusB(s, name, 0) }
+func stmt(name string, compute int, refs ...loopir.Ref) *loopir.Stmt {
+	return &loopir.Stmt{Name: name, Refs: refs, Compute: compute}
+}

@@ -1,0 +1,49 @@
+package selcache_test
+
+import (
+	"testing"
+
+	"selcache"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	w, ok := selcache.BenchmarkByName("vpenta")
+	if !ok {
+		t.Fatal("vpenta missing")
+	}
+	o := selcache.DefaultOptions()
+	results := selcache.RunAll(w.Build, o)
+	if len(results) != 5 {
+		t.Fatalf("%d results", len(results))
+	}
+	base := results[0]
+	sel := results[4]
+	if sel.Version != selcache.Selective {
+		t.Fatalf("last result is %v", sel.Version)
+	}
+	if imp := selcache.Improvement(base, sel); imp < 20 {
+		t.Fatalf("selective improvement %.2f%% on vpenta", imp)
+	}
+}
+
+func TestFacadeBenchmarkList(t *testing.T) {
+	if got := len(selcache.Benchmarks()); got != 13 {
+		t.Fatalf("%d benchmarks", got)
+	}
+	if len(selcache.Versions()) != 5 {
+		t.Fatal("versions")
+	}
+	if selcache.BaseMachine().MemLat != 100 {
+		t.Fatal("base machine latency")
+	}
+}
+
+func TestFacadeMechanisms(t *testing.T) {
+	w, _ := selcache.BenchmarkByName("perl")
+	o := selcache.DefaultOptions()
+	o.Mechanism = selcache.HWVictim
+	r := selcache.Run(w.Build, selcache.PureHardware, o)
+	if r.Sim.Victim1.Probes == 0 {
+		t.Fatal("victim mechanism did not engage via facade")
+	}
+}
