@@ -1,0 +1,32 @@
+# Check matrix for the selcache reproduction. `make check` is the
+# pre-commit gate; the individual targets exist for iterating.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke tier1
+
+check: vet build race bench-smoke
+
+# tier1 is the fast gate the roadmap requires of every change.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race also exercises the parallel-vs-serial determinism tests, which spawn
+# real workers even on one CPU; expect this to take several minutes.
+race:
+	$(GO) test -race ./...
+
+# One pooled-vs-serial sweep plus the hot-path microbenchmarks, a single
+# iteration each — a smoke test that the benchmarks still build and run,
+# not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'ParallelSweep|AccessHotPath' -benchtime=1x .

@@ -25,6 +25,7 @@ import (
 	"selcache/internal/experiments"
 	"selcache/internal/loopir"
 	"selcache/internal/mem"
+	"selcache/internal/parallel"
 	"selcache/internal/report"
 	"selcache/internal/sim"
 	"selcache/internal/workloads"
@@ -150,6 +151,44 @@ func BenchmarkVictimScenario(b *testing.B) {
 }
 
 // Micro-benchmarks of the simulator itself.
+
+// BenchmarkParallelSweep measures the worker-pool fan-out of one full
+// 13-benchmark sweep against the serial path. On a multi-core host the
+// pooled sub-benchmark should approach a GOMAXPROCS-fold speedup (cells
+// are independent and embarrassingly parallel); on a single-CPU host the
+// two are expected to tie, which bounds the pool's overhead.
+func BenchmarkParallelSweep(b *testing.B) {
+	o := core.DefaultOptions()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = experiments.RunSweepWorkers(o, nil, parallel.Serial)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = experiments.RunSweepWorkers(o, nil, 0)
+		}
+	})
+}
+
+// BenchmarkAccessHotPath drives the per-access pipeline with a strided
+// walk over a working set that fits L2 but thrashes L1 — the locality
+// profile the MRU-way hint and the single-pass stall loop target.
+func BenchmarkAccessHotPath(b *testing.B) {
+	m := sim.NewMachine(sim.Base(), sim.Options{Mechanism: sim.HWBypass, InitiallyOn: true})
+	const stride = 8
+	span := mem.Addr(256 << 10)
+	var a mem.Addr
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a += stride
+		if a >= span {
+			a = 0
+		}
+		m.Access(a, 8, i&7 == 0)
+	}
+}
 
 func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	m := sim.NewMachine(sim.Base(), sim.Options{Mechanism: sim.HWBypass, InitiallyOn: true})

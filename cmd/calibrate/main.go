@@ -44,11 +44,12 @@ type scored struct {
 	c          combo
 	violations []string
 	score      float64
-	avg        map[core.Version]float64
+	avg        [core.NumVersions]float64
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "coarser grid")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0: one per CPU, 1: serial)")
 	flag.Parse()
 
 	bufLats := []float64{0, 0.5}
@@ -66,7 +67,7 @@ func main() {
 			for _, span := range spans {
 				for _, cs := range colds {
 					c := combo{bufHitLat: bl, prefL2: pl2, span: span, coldSparse: cs, cold: 64}
-					results = append(results, evaluate(c))
+					results = append(results, evaluate(c, *workers))
 					last := results[len(results)-1]
 					fmt.Printf("%s  score=%6.2f  viol=%d\n", c, last.score, len(last.violations))
 				}
@@ -87,7 +88,10 @@ func main() {
 	}
 }
 
-func evaluate(c combo) scored {
+// evaluate scores one knob combination. The 13-benchmark sweep inside it
+// fans out across the worker pool; scoring reads the assembled sweep, so
+// the scores are identical at any worker count.
+func evaluate(c combo, workers int) scored {
 	o := core.DefaultOptions()
 	o.Machine.BufferHitLat = c.bufHitLat
 	o.Machine.PrefetchFromL2 = c.prefL2
@@ -97,7 +101,7 @@ func evaluate(c combo) scored {
 	m.ColdMax = c.cold
 	o.MAT = m
 
-	sw := experiments.RunSweep(o, nil)
+	sw := experiments.RunSweepWorkers(o, nil, workers)
 	s := scored{c: c, avg: sw.Avg}
 
 	const eps = 0.25

@@ -6,20 +6,28 @@
 //	experiments -run table3     # average improvements, both mechanisms
 //	experiments -run all        # everything (the default)
 //
-// Output goes to stdout; EXPERIMENTS.md records a reference run.
+// Sweeps fan out across a worker pool (-workers; 0 means one per CPU, 1
+// forces the serial path) with deterministic assembly, so the output is
+// identical at any worker count. -cpuprofile writes a pprof profile of the
+// run. Output goes to stdout; EXPERIMENTS.md records a reference run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"selcache/internal/experiments"
+	"selcache/internal/parallel"
 	"selcache/internal/report"
 )
 
 func main() {
 	run := flag.String("run", "all", "table2|figures|table3|all")
+	workers := flag.Int("workers", 0, "worker pool size (0: one per CPU, 1: serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	flag.Parse()
 
 	doTable2 := *run == "all" || *run == "table2"
@@ -30,13 +38,34 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	w := os.Stdout
+	start := time.Now()
+	var events uint64
 	if doTable2 {
-		report.WriteTable2(w, experiments.Table2())
+		rows := experiments.Table2Workers(*workers)
+		for _, r := range rows {
+			events += r.Instructions
+		}
+		report.WriteTable2(w, rows)
 	}
 	if doFigures {
 		for _, f := range experiments.Figures() {
-			sw := experiments.RunFigure(f)
+			sw := experiments.RunFigureWorkers(f, *workers)
+			events += sw.Events()
 			report.WriteFigure(w, f.Name(), sw)
 			if f == experiments.Figure4 {
 				report.WriteClassAverages(w, sw)
@@ -44,6 +73,17 @@ func main() {
 		}
 	}
 	if doTable3 {
-		report.WriteTable3(w, experiments.Table3())
+		rows, sweeps := experiments.Table3Detail(*workers)
+		for _, sw := range sweeps {
+			events += sw.Events()
+		}
+		report.WriteTable3(w, rows)
 	}
+
+	// The summary goes to stderr so redirected stdout stays byte-stable
+	// against the committed reference (experiments_output.txt).
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "throughput: %.1fM simulated events in %.1fs (%.1fM events/s, workers=%d)\n",
+		float64(events)/1e6, elapsed.Seconds(),
+		float64(events)/1e6/elapsed.Seconds(), parallel.Workers(*workers))
 }

@@ -89,6 +89,13 @@ type Cache struct {
 	assoc     int
 	lines     []line
 	clock     uint64
+	// mru holds, per set, the way of the last hit or fill. Lookups probe
+	// it before scanning the set: cache-friendly access streams hit the
+	// same line repeatedly, so the fast path resolves most lookups with a
+	// single tag compare and no slice churn. The hint is advisory — a
+	// stale hint just falls through to the full scan — and it never
+	// influences replacement, so timing and stats are unchanged.
+	mru []uint8
 
 	// Stats accumulates hit/miss counters; the embedding controller is
 	// free to reset it between measurement windows.
@@ -107,6 +114,7 @@ func New(cfg Config) *Cache {
 		setMask:   uint64(cfg.Sets() - 1),
 		assoc:     cfg.Assoc,
 		lines:     make([]line, cfg.Lines()),
+		mru:       make([]uint8, cfg.Sets()),
 	}
 }
 
@@ -131,13 +139,25 @@ func (c *Cache) Lookup(a mem.Addr, write bool) bool {
 	c.Stats.Accesses++
 	c.clock++
 	block := uint64(a) >> c.blockBits
-	set := c.set(block)
+	s := int(block & c.setMask)
+	base := s * c.assoc
+	// MRU fast path: one tag compare against the way that hit last.
+	if ln := &c.lines[base+int(c.mru[s])]; ln.valid && ln.tag == block {
+		ln.stamp = c.clock
+		if write {
+			ln.dirty = true
+		}
+		c.Stats.Hits++
+		return true
+	}
+	set := c.lines[base : base+c.assoc]
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
 			set[i].stamp = c.clock
 			if write {
 				set[i].dirty = true
 			}
+			c.mru[s] = uint8(i)
 			c.Stats.Hits++
 			return true
 		}
@@ -191,11 +211,13 @@ func (c *Cache) lruIndex(set []line) int {
 func (c *Cache) Fill(a mem.Addr, dirty bool) Evicted {
 	c.clock++
 	block := uint64(a) >> c.blockBits
-	set := c.set(block)
+	s := int(block & c.setMask)
+	set := c.lines[s*c.assoc : (s+1)*c.assoc]
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
 			set[i].stamp = c.clock
 			set[i].dirty = set[i].dirty || dirty
+			c.mru[s] = uint8(i)
 			return Evicted{}
 		}
 	}
@@ -213,6 +235,7 @@ func (c *Cache) Fill(a mem.Addr, dirty bool) Evicted {
 		}
 	}
 	set[vi] = line{tag: block, stamp: c.clock, valid: true, dirty: dirty}
+	c.mru[s] = uint8(vi)
 	return ev
 }
 

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"selcache/internal/loopir"
 	"selcache/internal/mat"
@@ -44,6 +45,11 @@ const (
 	// toggling the hardware mechanism per region (the paper's approach).
 	Selective
 )
+
+// NumVersions is the number of simulated versions; Version values are
+// contiguous in [0, NumVersions), so aggregation code can use fixed-size
+// arrays indexed by Version instead of maps.
+const NumVersions = int(Selective) + 1
 
 // Versions lists all five in presentation order.
 func Versions() []Version {
@@ -188,10 +194,13 @@ func Run(build Builder, v Version, o Options) Result {
 	o = o.normalized()
 	prog, rst, ost := Prepare(build, v, o)
 	machine := sim.NewMachine(o.Machine, simOptions(v, o))
+	start := time.Now()
 	loopir.Run(prog, machine)
+	st := machine.Finish()
+	st.WallNanos = time.Since(start).Nanoseconds()
 	return Result{
 		Version: v,
-		Sim:     machine.Finish(),
+		Sim:     st,
 		Regions: rst,
 		Opt:     ost,
 		Program: prog,

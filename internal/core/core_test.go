@@ -101,6 +101,9 @@ func TestRunDeterminism(t *testing.T) {
 	o := DefaultOptions()
 	a := Run(w.Build, Selective, o)
 	b := Run(w.Build, Selective, o)
+	// WallNanos is host timing, the one field documented as
+	// nondeterministic; everything else must match exactly.
+	a.Sim.WallNanos, b.Sim.WallNanos = 0, 0
 	if a.Sim != b.Sim {
 		t.Fatalf("selective runs differ:\n%+v\n%+v", a.Sim, b.Sim)
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"selcache/internal/core"
 	"selcache/internal/mat"
+	"selcache/internal/parallel"
 	"selcache/internal/regions"
 	"selcache/internal/sim"
 	"selcache/internal/workloads"
@@ -24,18 +25,17 @@ func runPair(ws []workloads.Workload, v core.Version, def, abl core.Options) []A
 	if ws == nil {
 		ws = workloads.All()
 	}
-	var out []AblationRow
-	for _, w := range ws {
+	return parallel.Map(0, len(ws), func(i int) AblationRow {
+		w := ws[i]
 		base := core.Run(w.Build, core.Base, def)
 		d := core.Run(w.Build, v, def)
 		a := core.Run(w.Build, v, abl)
-		out = append(out, AblationRow{
+		return AblationRow{
 			Benchmark: w.Name,
 			Default:   core.Improvement(base, d),
 			Ablated:   core.Improvement(base, a),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // FrozenTables ablates decision 2: keep MAT/SLDT learning while the
@@ -110,16 +110,26 @@ func ThresholdSweep(thresholds []float64, ws []workloads.Workload) []ThresholdRo
 	if thresholds == nil {
 		thresholds = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	}
-	var out []ThresholdRow
-	for _, th := range thresholds {
+	// Flatten the (threshold × benchmark) space into one pool fan-out and
+	// reduce per threshold in benchmark order (deterministic summation).
+	type cell struct {
+		improvement float64
+		markers     uint64
+	}
+	cells := parallel.Map(0, len(thresholds)*len(ws), func(i int) cell {
 		o := core.DefaultOptions()
-		o.Regions = regions.Config{Threshold: th, Propagate: true, Eliminate: true}
+		o.Regions = regions.Config{Threshold: thresholds[i/len(ws)], Propagate: true, Eliminate: true}
+		w := ws[i%len(ws)]
+		base := core.Run(w.Build, core.Base, o)
+		sel := core.Run(w.Build, core.Selective, o)
+		return cell{improvement: core.Improvement(base, sel), markers: sel.Sim.Markers}
+	})
+	out := make([]ThresholdRow, 0, len(thresholds))
+	for ti, th := range thresholds {
 		row := ThresholdRow{Threshold: th}
-		for _, w := range ws {
-			base := core.Run(w.Build, core.Base, o)
-			sel := core.Run(w.Build, core.Selective, o)
-			row.AvgImprovement += core.Improvement(base, sel)
-			row.Markers += sel.Sim.Markers
+		for _, c := range cells[ti*len(ws) : (ti+1)*len(ws)] {
+			row.AvgImprovement += c.improvement
+			row.Markers += c.markers
 		}
 		row.AvgImprovement /= float64(len(ws))
 		out = append(out, row)
@@ -188,22 +198,21 @@ func CompilerPasses(ws []workloads.Workload) []CompilerPassRow {
 		o.Opt.ScalarRepl = false
 	})
 
-	var out []CompilerPassRow
-	for _, w := range ws {
+	return parallel.Map(0, len(ws), func(i int) CompilerPassRow {
+		w := ws[i]
 		base := core.Run(w.Build, core.Base, full)
 		imp := func(o core.Options) float64 {
 			return core.Improvement(base, core.Run(w.Build, core.PureSoftware, o))
 		}
-		out = append(out, CompilerPassRow{
+		return CompilerPassRow{
 			Benchmark:  w.Name,
 			Full:       imp(full),
 			NoIC:       imp(noIC),
 			NoLayout:   imp(noLayout),
 			NoTiling:   imp(noTiling),
 			NoUnrollSR: imp(noUJ),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // DesignPointRow reports selective and pure-hardware improvements at one
@@ -236,17 +245,27 @@ func MATDesignSweep(ws []workloads.Workload) []DesignPointRow {
 		{"buffer 16 words", func(c *mat.Config) { c.BufferWords = 16 }},
 		{"buffer 256 words", func(c *mat.Config) { c.BufferWords = 256 }},
 	}
-	var out []DesignPointRow
-	for _, p := range points {
+	// Flatten (design point × benchmark) into one fan-out, then reduce per
+	// point in benchmark order.
+	type cell struct{ pureHW, selective float64 }
+	cells := parallel.Map(0, len(points)*len(ws), func(i int) cell {
 		m := mat.DefaultConfig()
-		p.mod(&m)
+		points[i/len(ws)].mod(&m)
 		o := core.DefaultOptions()
 		o.MAT = m
+		w := ws[i%len(ws)]
+		base := core.Run(w.Build, core.Base, o)
+		return cell{
+			pureHW:    core.Improvement(base, core.Run(w.Build, core.PureHardware, o)),
+			selective: core.Improvement(base, core.Run(w.Build, core.Selective, o)),
+		}
+	})
+	out := make([]DesignPointRow, 0, len(points))
+	for pi, p := range points {
 		row := DesignPointRow{Label: p.label}
-		for _, w := range ws {
-			base := core.Run(w.Build, core.Base, o)
-			row.PureHW += core.Improvement(base, core.Run(w.Build, core.PureHardware, o))
-			row.Selective += core.Improvement(base, core.Run(w.Build, core.Selective, o))
+		for _, c := range cells[pi*len(ws) : (pi+1)*len(ws)] {
+			row.PureHW += c.pureHW
+			row.Selective += c.selective
 		}
 		row.PureHW /= float64(len(ws))
 		row.Selective /= float64(len(ws))

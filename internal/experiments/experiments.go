@@ -3,10 +3,20 @@
 // the per-benchmark improvement figures for the six machine configurations
 // (Figures 4–9), the average-improvement summary across both hardware
 // mechanisms (Table 3), and the ablation studies DESIGN.md calls out.
+//
+// Every sweep decomposes into independent cells — one benchmark through all
+// five versions under one configuration and mechanism — that fan out across
+// the internal/parallel worker pool. Results are assembled in cell order,
+// so the output is byte-identical to a serial run (docs/PERFORMANCE.md
+// states the guarantee; TestParallelSweepMatchesSerial enforces it). The
+// exported entry points come in pairs: the historical name uses the default
+// pool, and a *Workers variant takes an explicit worker count, with
+// parallel.Serial as the no-goroutine fallback.
 package experiments
 
 import (
 	"selcache/internal/core"
+	"selcache/internal/parallel"
 	"selcache/internal/sim"
 	"selcache/internal/workloads"
 )
@@ -15,13 +25,15 @@ import (
 type Row struct {
 	Benchmark string
 	Class     workloads.Class
-	// Cycles and Improv are indexed by core.Version. Improvement is the
-	// percentage cycle reduction versus the base run.
-	Cycles map[core.Version]uint64
-	Improv map[core.Version]float64
+	// Cycles and Improv are indexed by core.Version (fixed-size arrays:
+	// every run fills all five versions, and the flat layout keeps sweep
+	// assembly allocation-free). Improvement is the percentage cycle
+	// reduction versus the base run.
+	Cycles [core.NumVersions]uint64
+	Improv [core.NumVersions]float64
 	// Stats keeps the full per-version simulator statistics for detailed
 	// reporting.
-	Stats map[core.Version]sim.RunStats
+	Stats [core.NumVersions]sim.RunStats
 }
 
 // Sweep is one figure's worth of data: every benchmark through every
@@ -31,63 +43,89 @@ type Sweep struct {
 	Mechanism sim.HWKind
 	Rows      []Row
 	// Avg holds the arithmetic-mean improvement per version; ClassAvg
-	// splits it by benchmark class.
-	Avg      map[core.Version]float64
-	ClassAvg map[workloads.Class]map[core.Version]float64
+	// splits it by benchmark class. ClassCount records how many of Rows
+	// fall in each class — a zero entry means the class is absent and its
+	// ClassAvg row is meaningless.
+	Avg        [core.NumVersions]float64
+	ClassAvg   [workloads.NumClasses][core.NumVersions]float64
+	ClassCount [workloads.NumClasses]int
 }
 
-// RunSweep simulates the given workloads (paper order when ws is nil)
-// through all five versions under o.
-func RunSweep(o core.Options, ws []workloads.Workload) Sweep {
-	if ws == nil {
-		ws = workloads.All()
-	}
-	sw := Sweep{
-		Config:    o.Machine,
-		Mechanism: o.Mechanism,
-		Avg:       map[core.Version]float64{},
-		ClassAvg:  map[workloads.Class]map[core.Version]float64{},
-	}
-	classN := map[workloads.Class]int{}
-	for _, w := range ws {
-		row := Row{
-			Benchmark: w.Name,
-			Class:     w.Class,
-			Cycles:    map[core.Version]uint64{},
-			Improv:    map[core.Version]float64{},
-			Stats:     map[core.Version]sim.RunStats{},
+// Events sums the simulated instruction events across every run of the
+// sweep (throughput reporting).
+func (sw Sweep) Events() uint64 {
+	var n uint64
+	for i := range sw.Rows {
+		for v := range sw.Rows[i].Stats {
+			n += sw.Rows[i].Stats[v].Instructions
 		}
-		var base core.Result
-		for _, v := range core.Versions() {
-			res := core.Run(w.Build, v, o)
-			if v == core.Base {
-				base = res
-			}
-			row.Cycles[v] = res.Sim.Cycles
-			row.Improv[v] = core.Improvement(base, res)
-			row.Stats[v] = res.Sim
+	}
+	return n
+}
+
+// runRow is one sweep cell: a single benchmark through all five versions.
+// Cells share nothing — each core.Run builds a fresh program and machine —
+// so runRow is safe to execute on any worker.
+func runRow(w workloads.Workload, o core.Options) Row {
+	row := Row{Benchmark: w.Name, Class: w.Class}
+	var base core.Result
+	for _, v := range core.Versions() {
+		res := core.Run(w.Build, v, o)
+		if v == core.Base {
+			base = res
 		}
-		sw.Rows = append(sw.Rows, row)
-		classN[w.Class]++
+		row.Cycles[v] = res.Sim.Cycles
+		row.Improv[v] = core.Improvement(base, res)
+		row.Stats[v] = res.Sim
+	}
+	return row
+}
+
+// assemble computes the sweep aggregates from rows. Accumulation runs in
+// row order, so float summation matches the serial reference exactly.
+func assemble(o core.Options, rows []Row) Sweep {
+	sw := Sweep{Config: o.Machine, Mechanism: o.Mechanism, Rows: rows}
+	for i := range rows {
+		row := &rows[i]
+		sw.ClassCount[row.Class]++
 		for _, v := range core.Versions() {
 			sw.Avg[v] += row.Improv[v]
-			if sw.ClassAvg[w.Class] == nil {
-				sw.ClassAvg[w.Class] = map[core.Version]float64{}
-			}
-			sw.ClassAvg[w.Class][v] += row.Improv[v]
+			sw.ClassAvg[row.Class][v] += row.Improv[v]
 		}
 	}
-	if len(sw.Rows) > 0 {
+	if len(rows) > 0 {
+		inv := 1 / float64(len(rows))
 		for v := range sw.Avg {
-			sw.Avg[v] /= float64(len(sw.Rows))
+			sw.Avg[v] *= inv
 		}
-		for c, m := range sw.ClassAvg {
-			for v := range m {
-				m[v] /= float64(classN[c])
+		for c := range sw.ClassAvg {
+			if sw.ClassCount[c] == 0 {
+				continue
+			}
+			for v := range sw.ClassAvg[c] {
+				sw.ClassAvg[c][v] /= float64(sw.ClassCount[c])
 			}
 		}
 	}
 	return sw
+}
+
+// RunSweep simulates the given workloads (paper order when ws is nil)
+// through all five versions under o, using the default worker pool.
+func RunSweep(o core.Options, ws []workloads.Workload) Sweep {
+	return RunSweepWorkers(o, ws, 0)
+}
+
+// RunSweepWorkers is RunSweep with an explicit worker count (< 1: one per
+// CPU; parallel.Serial: plain loop on the calling goroutine).
+func RunSweepWorkers(o core.Options, ws []workloads.Workload, workers int) Sweep {
+	if ws == nil {
+		ws = workloads.All()
+	}
+	rows := parallel.Map(workers, len(ws), func(i int) Row {
+		return runRow(ws[i], o)
+	})
+	return assemble(o, rows)
 }
 
 // FigureID identifies one of the paper's per-benchmark figures.
@@ -141,10 +179,15 @@ func Figures() []FigureID {
 // RunFigure reproduces one of Figures 4–9 (cache bypassing as the hardware
 // mechanism, per Section 5.1).
 func RunFigure(f FigureID) Sweep {
+	return RunFigureWorkers(f, 0)
+}
+
+// RunFigureWorkers is RunFigure with an explicit worker count.
+func RunFigureWorkers(f FigureID, workers int) Sweep {
 	o := core.DefaultOptions()
 	o.Machine = f.Config()
 	o.Mechanism = sim.HWBypass
-	return RunSweep(o, nil)
+	return RunSweepWorkers(o, nil, workers)
 }
 
 // Table2Row holds one benchmark's characteristics under the base machine
@@ -163,10 +206,16 @@ type Table2Row struct {
 // misses is enabled, so it also reports the conflict-miss share the paper
 // quotes in Section 4.2 (53–72%).
 func Table2() []Table2Row {
+	return Table2Workers(0)
+}
+
+// Table2Workers is Table2 with an explicit worker count.
+func Table2Workers(workers int) []Table2Row {
 	o := core.DefaultOptions()
 	o.Classify = true
-	var out []Table2Row
-	for _, w := range workloads.All() {
+	ws := workloads.All()
+	return parallel.Map(workers, len(ws), func(i int) Table2Row {
+		w := ws[i]
 		res := core.Run(w.Build, core.Base, o)
 		s := res.Sim
 		row := Table2Row{
@@ -179,9 +228,8 @@ func Table2() []Table2Row {
 		if t := s.L1Class.Total(); t > 0 {
 			row.ConflictPct = 100 * float64(s.L1Class.Conflict) / float64(t)
 		}
-		out = append(out, row)
-	}
-	return out
+		return row
+	})
 }
 
 // Table3Row is one machine configuration's average improvements across the
@@ -200,17 +248,53 @@ type Table3Row struct {
 // Table3 reproduces the average-improvement summary for every experiment
 // configuration and both hardware mechanisms.
 func Table3() []Table3Row {
-	var out []Table3Row
-	for _, cfg := range sim.ExperimentConfigs() {
-		ob := core.DefaultOptions()
-		ob.Machine = cfg
-		ob.Mechanism = sim.HWBypass
-		bp := RunSweep(ob, nil)
+	return Table3Workers(0)
+}
 
-		ov := ob
-		ov.Mechanism = sim.HWVictim
-		vc := RunSweep(ov, nil)
+// Table3Workers is Table3 with an explicit worker count.
+func Table3Workers(workers int) []Table3Row {
+	rows, _ := Table3Detail(workers)
+	return rows
+}
 
+// Table3Detail additionally returns the underlying sweeps, interleaved
+// bypass/victim per configuration (throughput reporting and tests).
+func Table3Detail(workers int) ([]Table3Row, []Sweep) {
+	return table3Detail(workers, nil)
+}
+
+// table3Detail flattens the full (configuration × mechanism × benchmark)
+// space — 6 × 2 × 13 = 156 cells by default — into one Map call, so the
+// pool stays saturated across sweep boundaries instead of draining twelve
+// times. ws overrides the benchmark list for tests.
+func table3Detail(workers int, ws []workloads.Workload) ([]Table3Row, []Sweep) {
+	if ws == nil {
+		ws = workloads.All()
+	}
+	cfgs := sim.ExperimentConfigs()
+	// Sweep order matches the serial reference: per configuration, bypass
+	// then victim.
+	opts := make([]core.Options, 0, 2*len(cfgs))
+	for _, cfg := range cfgs {
+		for _, mech := range []sim.HWKind{sim.HWBypass, sim.HWVictim} {
+			o := core.DefaultOptions()
+			o.Machine = cfg
+			o.Mechanism = mech
+			opts = append(opts, o)
+		}
+	}
+
+	rows := parallel.Map(workers, len(opts)*len(ws), func(i int) Row {
+		return runRow(ws[i%len(ws)], opts[i/len(ws)])
+	})
+
+	sweeps := make([]Sweep, len(opts))
+	for j := range opts {
+		sweeps[j] = assemble(opts[j], rows[j*len(ws):(j+1)*len(ws)])
+	}
+	out := make([]Table3Row, 0, len(cfgs))
+	for ci, cfg := range cfgs {
+		bp, vc := sweeps[2*ci], sweeps[2*ci+1]
 		out = append(out, Table3Row{
 			Config:          cfg.Name,
 			PureSoftware:    bp.Avg[core.PureSoftware],
@@ -222,5 +306,5 @@ func Table3() []Table3Row {
 			SelectiveVictim: vc.Avg[core.Selective],
 		})
 	}
-	return out
+	return out, sweeps
 }

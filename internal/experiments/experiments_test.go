@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"selcache/internal/core"
@@ -42,8 +44,10 @@ func TestRunSweepShapes(t *testing.T) {
 			}
 		}
 	}
-	if len(sw.ClassAvg) != 3 {
-		t.Fatalf("class averages missing: %v", sw.ClassAvg)
+	for c := range sw.ClassCount {
+		if sw.ClassCount[c] != 1 {
+			t.Fatalf("class %v count %d, want 1 (subset has one per class)", workloads.Class(c), sw.ClassCount[c])
+		}
 	}
 }
 
@@ -51,16 +55,46 @@ func TestFigureIDs(t *testing.T) {
 	if len(Figures()) != 6 {
 		t.Fatal("figure count")
 	}
-	for _, f := range Figures() {
-		if f.Name() == "unknown figure" {
+	cfgs := sim.ExperimentConfigs()
+	seen := map[string]bool{}
+	for i, f := range Figures() {
+		name := f.Name()
+		if name == "unknown figure" {
 			t.Fatalf("figure %d unnamed", f)
 		}
+		want := fmt.Sprintf("Figure %d:", 4+i)
+		if !strings.HasPrefix(name, want) {
+			t.Errorf("figure %d name %q does not start with %q", f, name, want)
+		}
+		if seen[name] {
+			t.Errorf("duplicate figure name %q", name)
+		}
+		seen[name] = true
+		if got := f.Config(); got.Name != cfgs[i].Name {
+			t.Errorf("figure %d config %q, want %q", f, got.Name, cfgs[i].Name)
+		}
+	}
+	if FigureID(99).Name() != "unknown figure" {
+		t.Error("out-of-range FigureID must name itself unknown")
+	}
+	// The specific machine deltas the captions promise.
+	if Figure4.Config().Name != sim.Base().Name {
+		t.Error("Figure4 is not the base machine")
 	}
 	if Figure5.Config().MemLat != 200 {
 		t.Fatal("Figure5 config wrong")
 	}
+	if Figure6.Config().L2.Size != 1<<20 {
+		t.Fatal("Figure6 config wrong")
+	}
 	if Figure7.Config().L1.Size != 64<<10 {
 		t.Fatal("Figure7 config wrong")
+	}
+	if Figure8.Config().L2.Assoc != 8 {
+		t.Fatal("Figure8 config wrong")
+	}
+	if Figure9.Config().L1.Assoc != 8 {
+		t.Fatal("Figure9 config wrong")
 	}
 }
 

@@ -22,29 +22,64 @@ const (
 // the induction-variable environment and typed helpers that both emit the
 // simulated access and (for loads of backing data) return the stored value,
 // so irregular workloads chase real pointers and indices.
+//
+// Internally the environment is a register file: Run assigns every variable
+// name a slot up front, so the per-access hot path (affine subscript
+// evaluation, loop-variable updates) is integer indexing with no map
+// hashing or string comparison. Names only resolve through the slots map in
+// the cold paths — compilation, and V/Bind calls from opaque bodies.
 type Ctx struct {
 	Em      mem.Emitter
-	env     map[string]int
+	slots   map[string]int // variable name -> register index
+	regs    []int          // register values (0 when unbound)
+	bound   []bool         // whether the register currently holds a binding
 	scratch [8]int
+}
+
+// slot returns name's register index, allocating one on first use.
+func (c *Ctx) slot(name string) int {
+	if c.slots == nil {
+		c.slots = make(map[string]int, 8)
+	}
+	if s, ok := c.slots[name]; ok {
+		return s
+	}
+	s := len(c.regs)
+	c.slots[name] = s
+	c.regs = append(c.regs, 0)
+	c.bound = append(c.bound, false)
+	return s
 }
 
 // V returns the current value of induction variable name. It panics if the
 // variable is not bound, which indicates a workload construction bug.
 func (c *Ctx) V(name string) int {
-	v, ok := c.env[name]
-	if !ok {
-		panic(fmt.Sprintf("loopir: unbound induction variable %q", name))
+	if s, ok := c.slots[name]; ok && c.bound[s] {
+		return c.regs[s]
 	}
-	return v
+	panic(fmt.Sprintf("loopir: unbound induction variable %q", name))
 }
 
-// Env exposes the raw environment (read-only by convention).
-func (c *Ctx) Env() map[string]int { return c.env }
+// Env materializes the current environment as a map (a compatibility view
+// for diagnostics and tests; the interpreter itself never builds it).
+func (c *Ctx) Env() map[string]int {
+	m := make(map[string]int, len(c.slots))
+	for name, s := range c.slots {
+		if c.bound[s] {
+			m[name] = c.regs[s]
+		}
+	}
+	return m
+}
 
 // Bind sets an induction-variable alias in the environment. Opaque bodies
 // written against generic variable names use it to adapt to the uniquely
 // named loops that enclose them.
-func (c *Ctx) Bind(name string, val int) { c.env[name] = val }
+func (c *Ctx) Bind(name string, val int) {
+	s := c.slot(name)
+	c.regs[s] = val
+	c.bound[s] = true
+}
 
 // Load emits a read of a[idx...].
 func (c *Ctx) Load(a *mem.Array, idx ...int) {
@@ -92,72 +127,195 @@ func (c *Ctx) StoreAddr(addr mem.Addr, size uint8) {
 // Compute accounts n non-memory instructions.
 func (c *Ctx) Compute(n int) { c.Em.Compute(n) }
 
-// Run interprets the program, streaming its events into em.
-func Run(p *Program, em mem.Emitter) {
-	ctx := &Ctx{Em: em, env: make(map[string]int, 8)}
-	runBody(p.Body, ctx)
+// The compiled program form. Run lowers the Node tree into it once per
+// invocation: expressions become slot-indexed term lists, scalar references
+// become precomputed addresses, hoisted references disappear. Compilation
+// is O(program size) and amortizes over the millions of events a simulation
+// run emits.
+
+// cterm is one coeff*register product of a compiled affine expression.
+type cterm struct {
+	slot  int
+	coeff int
 }
 
-func runBody(body []Node, ctx *Ctx) {
+// cexpr is a compiled affine expression.
+type cexpr struct {
+	konst int
+	terms []cterm
+}
+
+// eval evaluates a compiled expression against the register file. An
+// unbound register reads zero, matching Expr.Eval's map semantics.
+func (c *Ctx) eval(e *cexpr) int {
+	v := e.konst
+	for _, t := range e.terms {
+		v += t.coeff * c.regs[t.slot]
+	}
+	return v
+}
+
+type cnode interface {
+	exec(ctx *Ctx)
+}
+
+type cloop struct {
+	varSlot int
+	lo, hi  cexpr
+	cap     *cexpr
+	step    int
+	body    []cnode
+}
+
+func (l *cloop) exec(ctx *Ctx) {
+	lo := ctx.eval(&l.lo)
+	hi := ctx.eval(&l.hi)
+	if l.cap != nil {
+		if c := ctx.eval(l.cap); c < hi {
+			hi = c
+		}
+	}
+	ctx.Em.Compute(LoopSetupCost)
+	s := l.varSlot
+	saved, had := ctx.regs[s], ctx.bound[s]
+	ctx.bound[s] = true
+	for v := lo; v < hi; v += l.step {
+		ctx.regs[s] = v
+		ctx.Em.Compute(LoopIterCost)
+		for _, n := range l.body {
+			n.exec(ctx)
+		}
+	}
+	if had {
+		ctx.regs[s] = saved
+	} else {
+		// Unbound registers must read as zero for Expr.Eval parity.
+		ctx.regs[s] = 0
+		ctx.bound[s] = false
+	}
+}
+
+// cref is a compiled analyzable reference: either a precomputed scalar
+// address (subs == nil) or an affine array reference.
+type cref struct {
+	write bool
+	size  uint8
+	addr  mem.Addr // ClassScalar only
+	array *mem.Array
+	subs  []cexpr
+}
+
+type cstmt struct {
+	compute int
+	refs    []cref
+	run     RunFunc
+}
+
+func (s *cstmt) exec(ctx *Ctx) {
+	if s.run != nil {
+		s.run(ctx)
+		return
+	}
+	if s.compute > 0 {
+		ctx.Em.Compute(s.compute)
+	}
+	for i := range s.refs {
+		r := &s.refs[i]
+		if r.subs == nil {
+			ctx.Em.Access(r.addr, r.size, r.write)
+			continue
+		}
+		idx := ctx.scratch[:len(r.subs)]
+		for d := range r.subs {
+			idx[d] = ctx.eval(&r.subs[d])
+		}
+		ctx.Em.Access(r.array.Addr(idx...), r.array.AccessSize(), r.write)
+	}
+}
+
+type cmarker struct {
+	on bool
+}
+
+func (m *cmarker) exec(ctx *Ctx) { ctx.Em.Marker(m.on) }
+
+func (c *Ctx) compileExpr(e Expr) cexpr {
+	ce := cexpr{konst: e.Const}
+	if len(e.Terms) > 0 {
+		ce.terms = make([]cterm, len(e.Terms))
+		for i, t := range e.Terms {
+			ce.terms[i] = cterm{slot: c.slot(t.Var), coeff: t.Coeff}
+		}
+	}
+	return ce
+}
+
+func (c *Ctx) compileBody(body []Node) []cnode {
+	out := make([]cnode, 0, len(body))
 	for _, n := range body {
 		switch n := n.(type) {
 		case *Loop:
-			runLoop(n, ctx)
+			if n.Step <= 0 {
+				panic(fmt.Sprintf("loopir: loop %s has step %d", n.Var, n.Step))
+			}
+			cl := &cloop{
+				varSlot: c.slot(n.Var),
+				lo:      c.compileExpr(n.Lo),
+				hi:      c.compileExpr(n.Hi),
+				step:    n.Step,
+			}
+			if n.Cap != nil {
+				capE := c.compileExpr(*n.Cap)
+				cl.cap = &capE
+			}
+			cl.body = c.compileBody(n.Body)
+			out = append(out, cl)
 		case *Stmt:
-			runStmt(n, ctx)
+			cs := &cstmt{compute: n.Compute, run: n.Run}
+			if n.Run == nil {
+				for i := range n.Refs {
+					r := &n.Refs[i]
+					if r.Hoisted {
+						continue
+					}
+					switch r.Class {
+					case ClassScalar:
+						cs.refs = append(cs.refs, cref{
+							write: r.Write,
+							size:  r.Scalar.Size,
+							addr:  r.Scalar.Addr,
+						})
+					case ClassAffine:
+						subs := make([]cexpr, len(r.Subs))
+						for d, e := range r.Subs {
+							subs[d] = c.compileExpr(e)
+						}
+						cs.refs = append(cs.refs, cref{
+							write: r.Write,
+							array: r.Array,
+							subs:  subs,
+						})
+					default:
+						panic(fmt.Sprintf("loopir: statement %q has non-analyzable ref %s but no Run body", n.Name, r))
+					}
+				}
+			}
+			out = append(out, cs)
 		case *Marker:
-			ctx.Em.Marker(n.On)
+			out = append(out, &cmarker{on: n.On})
 		default:
 			panic(fmt.Sprintf("loopir: unknown node %T", n))
 		}
 	}
+	return out
 }
 
-func runLoop(l *Loop, ctx *Ctx) {
-	if l.Step <= 0 {
-		panic(fmt.Sprintf("loopir: loop %s has step %d", l.Var, l.Step))
-	}
-	lo := l.Lo.Eval(ctx.env)
-	hi := l.Bound(ctx.env)
-	ctx.Em.Compute(LoopSetupCost)
-	saved, had := ctx.env[l.Var]
-	for v := lo; v < hi; v += l.Step {
-		ctx.env[l.Var] = v
-		ctx.Em.Compute(LoopIterCost)
-		runBody(l.Body, ctx)
-	}
-	if had {
-		ctx.env[l.Var] = saved
-	} else {
-		delete(ctx.env, l.Var)
-	}
-}
-
-func runStmt(s *Stmt, ctx *Ctx) {
-	if s.Run != nil {
-		s.Run(ctx)
-		return
-	}
-	if s.Compute > 0 {
-		ctx.Em.Compute(s.Compute)
-	}
-	for i := range s.Refs {
-		r := &s.Refs[i]
-		if r.Hoisted {
-			continue
-		}
-		switch r.Class {
-		case ClassScalar:
-			ctx.Em.Access(r.Scalar.Addr, r.Scalar.Size, r.Write)
-		case ClassAffine:
-			idx := ctx.scratch[:len(r.Subs)]
-			for d, e := range r.Subs {
-				idx[d] = e.Eval(ctx.env)
-			}
-			ctx.Em.Access(r.Array.Addr(idx...), r.Array.AccessSize(), r.Write)
-		default:
-			panic(fmt.Sprintf("loopir: statement %q has non-analyzable ref %s but no Run body", s.Name, r))
-		}
+// Run interprets the program, streaming its events into em.
+func Run(p *Program, em mem.Emitter) {
+	ctx := &Ctx{Em: em}
+	compiled := ctx.compileBody(p.Body)
+	for _, n := range compiled {
+		n.exec(ctx)
 	}
 }
 

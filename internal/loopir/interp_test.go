@@ -302,6 +302,6 @@ func TestUnboundVarPanics(t *testing.T) {
 			t.Fatal("expected panic for unbound variable")
 		}
 	}()
-	ctx := &Ctx{env: map[string]int{}}
+	ctx := &Ctx{}
 	ctx.V("missing")
 }

@@ -68,10 +68,10 @@ func WriteTable3(w io.Writer, rows []experiments.Table3Row) {
 func WriteClassAverages(w io.Writer, sw experiments.Sweep) {
 	fmt.Fprintln(w, "Per-class average improvements (%):")
 	for _, class := range []workloads.Class{workloads.Regular, workloads.Irregular, workloads.Mixed} {
-		m := sw.ClassAvg[class]
-		if m == nil {
+		if sw.ClassCount[class] == 0 {
 			continue
 		}
+		m := sw.ClassAvg[class]
 		fmt.Fprintf(w, "  %-9s hw=%6.2f sw=%6.2f combined=%6.2f selective=%6.2f\n",
 			class, m[core.PureHardware], m[core.PureSoftware],
 			m[core.Combined], m[core.Selective])

@@ -11,25 +11,24 @@ import (
 )
 
 func sampleSweep() experiments.Sweep {
-	return experiments.Sweep{
+	var improv [core.NumVersions]float64
+	improv[core.PureHardware] = 1.5
+	improv[core.PureSoftware] = 20
+	improv[core.Combined] = 19
+	improv[core.Selective] = 21
+	sw := experiments.Sweep{
 		Config:    sim.Base(),
 		Mechanism: sim.HWBypass,
 		Rows: []experiments.Row{{
 			Benchmark: "demo",
 			Class:     workloads.Regular,
-			Improv: map[core.Version]float64{
-				core.PureHardware: 1.5, core.PureSoftware: 20,
-				core.Combined: 19, core.Selective: 21,
-			},
+			Improv:    improv,
 		}},
-		Avg: map[core.Version]float64{
-			core.PureHardware: 1.5, core.PureSoftware: 20,
-			core.Combined: 19, core.Selective: 21,
-		},
-		ClassAvg: map[workloads.Class]map[core.Version]float64{
-			workloads.Regular: {core.Selective: 21},
-		},
+		Avg: improv,
 	}
+	sw.ClassAvg[workloads.Regular][core.Selective] = 21
+	sw.ClassCount[workloads.Regular] = 1
+	return sw
 }
 
 func TestWriteFigure(t *testing.T) {

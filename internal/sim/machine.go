@@ -41,6 +41,11 @@ type RunStats struct {
 	SpatialPrefetches uint64
 	// OnCycles approximates cycles spent with the mechanism active.
 	OnCycles uint64
+
+	// WallNanos is the host wall-clock time the run took, filled in by the
+	// driver (core.Run). It is the one nondeterministic field of RunStats:
+	// comparisons between runs must zero it first.
+	WallNanos int64
 }
 
 // IPC returns instructions per cycle.
@@ -49,6 +54,16 @@ func (s RunStats) IPC() float64 {
 		return 0
 	}
 	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// EventsPerSecond returns simulated events (instructions, which include
+// memory operations and markers) per host wall-clock second, or zero when
+// WallNanos was never filled in.
+func (s RunStats) EventsPerSecond() float64 {
+	if s.WallNanos <= 0 {
+		return 0
+	}
+	return float64(s.Instructions) / (float64(s.WallNanos) * 1e-9)
 }
 
 // Machine is one configured simulated processor. It implements mem.Emitter;
@@ -151,24 +166,22 @@ func (m *Machine) Marker(on bool) {
 // MLP limit on outstanding misses.
 func (m *Machine) stall(lat float64) {
 	now := m.cycles
-	// Retire completed misses.
+	// Retire completed misses and track the earliest survivor in the
+	// same pass (the first minimum, matching a left-to-right scan).
 	live := m.outstanding[:0]
+	ei := -1
 	for _, t := range m.outstanding {
 		if t > now {
+			if ei < 0 || t < live[ei] {
+				ei = len(live)
+			}
 			live = append(live, t)
 		}
 	}
 	m.outstanding = live
 	if len(m.outstanding) >= m.cfg.MLP {
 		// All miss-handling slots busy: wait for the earliest.
-		earliest := m.outstanding[0]
-		ei := 0
-		for i, t := range m.outstanding {
-			if t < earliest {
-				earliest, ei = t, i
-			}
-		}
-		if earliest > now {
+		if earliest := m.outstanding[ei]; earliest > now {
 			now = earliest
 		}
 		m.outstanding = append(m.outstanding[:ei], m.outstanding[ei+1:]...)

@@ -1,0 +1,18 @@
+package sim
+
+import "testing"
+
+func TestEventsPerSecond(t *testing.T) {
+	s := RunStats{Instructions: 2_000_000, WallNanos: 500_000_000}
+	if got := s.EventsPerSecond(); got != 4e6 {
+		t.Fatalf("EventsPerSecond = %v, want 4e6", got)
+	}
+	// Zero wall time means the field was never filled; the rate must not
+	// divide by zero or report garbage.
+	if got := (RunStats{Instructions: 5}).EventsPerSecond(); got != 0 {
+		t.Fatalf("unfilled EventsPerSecond = %v, want 0", got)
+	}
+	if got := (RunStats{Instructions: 5, WallNanos: -1}).EventsPerSecond(); got != 0 {
+		t.Fatalf("negative-wall EventsPerSecond = %v, want 0", got)
+	}
+}

@@ -40,6 +40,11 @@ type TLB struct {
 	assoc    int
 	entries  []entry
 	clock    uint64
+	// mru holds, per set, the way of the last hit or fill; Translate
+	// probes it before the full scan. Accesses cluster on the current
+	// page, so the fast path is one tag compare. The hint is advisory
+	// and never affects replacement, so stats and timing are unchanged.
+	mru []uint8
 	// Stats accumulates access/miss counters.
 	Stats Stats
 }
@@ -60,6 +65,7 @@ func New(cfg Config) *TLB {
 		setMask:  uint64(sets - 1),
 		assoc:    cfg.Assoc,
 		entries:  make([]entry, cfg.Entries),
+		mru:      make([]uint8, sets),
 	}
 }
 
@@ -70,11 +76,18 @@ func (t *TLB) Translate(a mem.Addr) bool {
 	t.clock++
 	page := uint64(a) >> t.pageBits
 	s := int(page & t.setMask)
-	set := t.entries[s*t.assoc : (s+1)*t.assoc]
+	base := s * t.assoc
+	// MRU fast path: one tag compare against the way that hit last.
+	if e := &t.entries[base+int(t.mru[s])]; e.valid && e.tag == page {
+		e.stamp = t.clock
+		return true
+	}
+	set := t.entries[base : base+t.assoc]
 	vi := 0
 	for i := range set {
 		if set[i].valid && set[i].tag == page {
 			set[i].stamp = t.clock
+			t.mru[s] = uint8(i)
 			return true
 		}
 		if !set[vi].valid {
@@ -86,5 +99,6 @@ func (t *TLB) Translate(a mem.Addr) bool {
 	}
 	t.Stats.Misses++
 	set[vi] = entry{tag: page, stamp: t.clock, valid: true}
+	t.mru[s] = uint8(vi)
 	return false
 }

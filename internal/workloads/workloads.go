@@ -32,6 +32,11 @@ const (
 	Mixed
 )
 
+// NumClasses is the number of benchmark classes; Class values are
+// contiguous in [0, NumClasses), so per-class aggregation can use
+// fixed-size arrays indexed by Class.
+const NumClasses = int(Mixed) + 1
+
 // String returns the class name.
 func (c Class) String() string {
 	switch c {
