@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke tier1
+.PHONY: check vet build test race bench-smoke fuzz-smoke tier1
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke fuzz-smoke
 
 # tier1 is the fast gate the roadmap requires of every change.
 tier1:
@@ -30,3 +30,10 @@ race:
 # not a measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'ParallelSweep|AccessHotPath' -benchtime=1x .
+
+# 30 seconds of each fuzz target: enough to shake out codec and
+# marker-elimination regressions on fresh inputs without stalling the
+# gate. Longer campaigns: go test ./internal/trace -fuzz FuzzTraceRoundTrip
+fuzz-smoke:
+	$(GO) test ./internal/trace -fuzz FuzzTraceRoundTrip -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/regions -fuzz FuzzMarkerBalance -fuzztime 30s -run '^$$'

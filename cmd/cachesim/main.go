@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"selcache/internal/core"
@@ -19,26 +20,42 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "cachesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: flag parsing and dispatch with
+// injectable arguments and output streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cachesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "swim", "benchmark name, or 'all'")
-		version   = flag.String("version", "all", "base|pure-hardware|pure-software|combined|selective|all")
-		configSel = flag.String("config", "base", "base|higher-mem-lat|larger-l2|larger-l1|higher-l2-assoc|higher-l1-assoc")
-		mech      = flag.String("mech", "bypass", "bypass|victim")
-		classify  = flag.Bool("classify", false, "attribute misses to conflict/capacity/compulsory")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
+		benchName = fs.String("bench", "swim", "benchmark name, or 'all'")
+		version   = fs.String("version", "all", "base|pure-hardware|pure-software|combined|selective|all")
+		configSel = fs.String("config", "base", "base|higher-mem-lat|larger-l2|larger-l1|higher-l2-assoc|higher-l1-assoc")
+		mech      = fs.String("mech", "bypass", "bypass|victim")
+		classify  = fs.Bool("classify", false, "attribute misses to conflict/capacity/compulsory")
+		list      = fs.Bool("list", false, "list benchmarks and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
-			fmt.Printf("%-10s %-9s %s\n", w.Name, w.Class, w.Models)
+			fmt.Fprintf(stdout, "%-10s %-9s %s\n", w.Name, w.Class, w.Models)
 		}
-		return
+		return nil
 	}
 
 	cfg, ok := configByName(*configSel)
 	if !ok {
-		fatalf("unknown config %q", *configSel)
+		return fmt.Errorf("unknown config %q", *configSel)
 	}
 	o := core.DefaultOptions()
 	o.Machine = cfg
@@ -49,7 +66,11 @@ func main() {
 	case "victim":
 		o.Mechanism = sim.HWVictim
 	default:
-		fatalf("unknown mechanism %q", *mech)
+		return fmt.Errorf("unknown mechanism %q", *mech)
+	}
+
+	if *version != "all" && !versionKnown(*version) {
+		return fmt.Errorf("unknown version %q", *version)
 	}
 
 	var benches []workloads.Workload
@@ -58,7 +79,7 @@ func main() {
 	} else {
 		w, ok := workloads.ByName(*benchName)
 		if !ok {
-			fatalf("unknown benchmark %q (try -list)", *benchName)
+			return fmt.Errorf("unknown benchmark %q (try -list)", *benchName)
 		}
 		benches = []workloads.Workload{w}
 	}
@@ -76,13 +97,23 @@ func main() {
 			if !versionSelected(*version, v) {
 				continue
 			}
-			printResult(w, res, base)
+			printResult(stdout, w, res, base)
 		}
 	}
+	return nil
 }
 
 func versionSelected(sel string, v core.Version) bool {
 	return sel == "all" || sel == v.String()
+}
+
+func versionKnown(sel string) bool {
+	for _, v := range core.Versions() {
+		if sel == v.String() {
+			return true
+		}
+	}
+	return false
 }
 
 func configByName(name string) (sim.Config, bool) {
@@ -94,40 +125,35 @@ func configByName(name string) (sim.Config, bool) {
 	return sim.Config{}, false
 }
 
-func printResult(w workloads.Workload, r, base core.Result) {
+func printResult(w io.Writer, wl workloads.Workload, r, base core.Result) {
 	s := r.Sim
-	fmt.Printf("%-10s %-14s cycles=%-12d instr=%-11d mem=%-10d L1miss=%5.2f%% L2miss=%5.2f%%",
-		w.Name, r.Version, s.Cycles, s.Instructions, s.MemOps,
+	fmt.Fprintf(w, "%-10s %-14s cycles=%-12d instr=%-11d mem=%-10d L1miss=%5.2f%% L2miss=%5.2f%%",
+		wl.Name, r.Version, s.Cycles, s.Instructions, s.MemOps,
 		100*s.L1.MissRate(), 100*s.L2.MissRate())
 	if r.Version != core.Base && base.Sim.Cycles > 0 {
-		fmt.Printf(" improv=%6.2f%%", core.Improvement(base, r))
+		fmt.Fprintf(w, " improv=%6.2f%%", core.Improvement(base, r))
 	}
 	if s.Markers > 0 {
-		fmt.Printf(" markers=%d", s.Markers)
+		fmt.Fprintf(w, " markers=%d", s.Markers)
 	}
 	if s.Bypasses > 0 {
-		fmt.Printf(" bypass=%d bufHit=%d", s.Bypasses, s.Buffer.Hits)
+		fmt.Fprintf(w, " bypass=%d bufHit=%d", s.Bypasses, s.Buffer.Hits)
 	}
 	if s.Victim1.Probes > 0 {
-		fmt.Printf(" vc1hit=%d vc2hit=%d", s.Victim1.Hits, s.Victim2.Hits)
+		fmt.Fprintf(w, " vc1hit=%d vc2hit=%d", s.Victim1.Hits, s.Victim2.Hits)
 	}
 	if r.Version == core.Selective {
-		fmt.Printf(" [regions hw=%d sw=%d mixed=%d markers ins=%d elim=%d]",
+		fmt.Fprintf(w, " [regions hw=%d sw=%d mixed=%d markers ins=%d elim=%d]",
 			r.Regions.HardwareLoops, r.Regions.SoftwareLoops, r.Regions.MixedLoops,
 			r.Regions.Inserted, r.Regions.Eliminated)
 	}
 	if r.Opt.NestsOptimized > 0 {
-		fmt.Printf(" [opt ic=%d layout=%d tile=%d uj=%d sr=%d]",
+		fmt.Fprintf(w, " [opt ic=%d layout=%d tile=%d uj=%d sr=%d]",
 			r.Opt.Interchanged, r.Opt.LayoutsChanged, r.Opt.Tiled, r.Opt.Unrolled, r.Opt.RefsPromoted)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	if s.L1Class.Total() > 0 {
-		fmt.Printf("           L1 misses: conflict=%d capacity=%d compulsory=%d\n",
+		fmt.Fprintf(w, "           L1 misses: conflict=%d capacity=%d compulsory=%d\n",
 			s.L1Class.Conflict, s.L1Class.Capacity, s.L1Class.Compulsory)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "cachesim: "+format+"\n", args...)
-	os.Exit(1)
 }

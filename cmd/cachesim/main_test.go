@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagParsing smoke-tests the CLI surface: every flag error path
+// returns an error (instead of os.Exit deep in the run), and the cheap
+// informational paths produce sensible output.
+func TestRunFlagParsing(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty means success
+		wantOut string // substring of stdout on success
+	}{
+		{"list", []string{"-list"}, "", "swim"},
+		{"list all classes", []string{"-list"}, "", "tpc-c"},
+		{"bad flag", []string{"-nonsense"}, "flag provided but not defined", ""},
+		{"positional arg", []string{"swim"}, "unexpected argument", ""},
+		{"unknown bench", []string{"-bench", "nope"}, `unknown benchmark "nope"`, ""},
+		{"unknown config", []string{"-config", "nope"}, `unknown config "nope"`, ""},
+		{"unknown mech", []string{"-mech", "nope"}, `unknown mechanism "nope"`, ""},
+		{"unknown version", []string{"-version", "nope"}, `unknown version "nope"`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run(%q) failed: %v", tc.args, err)
+				}
+				if !strings.Contains(stdout.String(), tc.wantOut) {
+					t.Fatalf("stdout %q does not contain %q", stdout.String(), tc.wantOut)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%q) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunSingleBench runs one real (small-side) simulation end to end and
+// checks the report line shape.
+func TestRunSingleBench(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "swim", "-version", "base"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"swim", "base", "cycles=", "L1miss="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+}

@@ -8,8 +8,12 @@
 //
 // Sweeps fan out across a worker pool (-workers; 0 means one per CPU, 1
 // forces the serial path) with deterministic assembly, so the output is
-// identical at any worker count. -cpuprofile writes a pprof profile of the
-// run. Output goes to stdout; EXPERIMENTS.md records a reference run.
+// identical at any worker count. Each distinct program variant is
+// interpreted once into an event trace and replayed across every machine
+// configuration; -tracedir persists those traces as .sctrace files so
+// repeated runs skip the interpreter entirely. -cpuprofile writes a pprof
+// profile of the run. Output goes to stdout; EXPERIMENTS.md records a
+// reference run.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 func main() {
 	run := flag.String("run", "all", "table2|figures|table3|all")
 	workers := flag.Int("workers", 0, "worker pool size (0: one per CPU, 1: serial)")
+	tracedir := flag.String("tracedir", "", "persist recorded event traces as .sctrace files in `dir`")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	flag.Parse()
 
@@ -53,10 +58,11 @@ func main() {
 	}
 
 	w := os.Stdout
+	tc := experiments.NewTraceCache(*tracedir)
 	start := time.Now()
 	var events uint64
 	if doTable2 {
-		rows := experiments.Table2Workers(*workers)
+		rows := experiments.Table2Cached(*workers, tc)
 		for _, r := range rows {
 			events += r.Instructions
 		}
@@ -64,7 +70,7 @@ func main() {
 	}
 	if doFigures {
 		for _, f := range experiments.Figures() {
-			sw := experiments.RunFigureWorkers(f, *workers)
+			sw := experiments.RunFigureCached(f, *workers, tc)
 			events += sw.Events()
 			report.WriteFigure(w, f.Name(), sw)
 			if f == experiments.Figure4 {
@@ -73,7 +79,7 @@ func main() {
 		}
 	}
 	if doTable3 {
-		rows, sweeps := experiments.Table3Detail(*workers)
+		rows, sweeps := experiments.Table3Cached(*workers, tc)
 		for _, sw := range sweeps {
 			events += sw.Events()
 		}
@@ -86,4 +92,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "throughput: %.1fM simulated events in %.1fs (%.1fM events/s, workers=%d)\n",
 		float64(events)/1e6, elapsed.Seconds(),
 		float64(events)/1e6/elapsed.Seconds(), parallel.Workers(*workers))
+	cs := tc.Stats()
+	fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses (%d streams, %.1f MB recorded", cs.Hits, cs.Misses, cs.Streams, float64(cs.Bytes)/1e6)
+	if *tracedir != "" {
+		fmt.Fprintf(os.Stderr, ", %d loaded from disk, %d disk errors", cs.DiskLoads, cs.DiskErrors)
+	}
+	fmt.Fprintln(os.Stderr, ")")
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceCLI drives record -> stats -> replay through the run entry
+// point on the cheapest workload, plus the flag error paths.
+func TestTraceCLI(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "swim.sctrace")
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-record", "-workload", "swim", "-version", "base", "-o", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "recorded swim base") {
+		t.Fatalf("record output %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-stats", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	for _, want := range []string{"events", "accesses", "encoded size"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("stats output %q missing %q", stdout.String(), want)
+		}
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-replay", out, "-version", "base"}, &stdout, &stderr); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for _, want := range []string{"cycles", "L1 misses", "IPC"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("replay output %q missing %q", stdout.String(), want)
+		}
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil || !strings.Contains(stdout.String(), "swim") {
+		t.Fatalf("list: err=%v out=%q", err, stdout.String())
+	}
+}
+
+func TestTraceCLIErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no mode", nil, "one of -record, -stats or -replay"},
+		{"record without workload", []string{"-record", "-o", "x"}, "requires -workload"},
+		{"record without output", []string{"-record", "-workload", "swim"}, "requires -o"},
+		{"unknown workload", []string{"-record", "-workload", "nope", "-o", "x"}, `unknown workload "nope"`},
+		{"unknown version", []string{"-record", "-workload", "swim", "-version", "nope", "-o", "x"}, `unknown version "nope"`},
+		{"missing file", []string{"-stats", "/nonexistent.sctrace"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%q) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

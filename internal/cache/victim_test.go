@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"testing"
+
+	"selcache/internal/mem"
+)
+
+// TestVictimSwapOrdering pins the probe-removes-then-insert protocol the
+// simulator's swap path relies on: a probe hit vacates the entry *before*
+// the primary cache's displaced block is inserted, so the swap never
+// evicts an unrelated victim entry.
+func TestVictimSwapOrdering(t *testing.T) {
+	v := NewVictim(1, 32) // one entry: any ordering mistake evicts
+
+	v.Insert(0x100, true)
+	dirty, hit := v.Probe(0x100)
+	if !hit || !dirty {
+		t.Fatalf("probe = (dirty=%v, hit=%v), want dirty hit", dirty, hit)
+	}
+	// The swap's second half: the block the promotion displaced from the
+	// primary cache moves in. With the probed entry gone, the single slot
+	// is free — no eviction.
+	if ev := v.Insert(0x200, false); ev.Valid {
+		t.Fatalf("swap insert evicted %+v from a vacated one-entry cache", ev)
+	}
+	if _, hit := v.Probe(0x200); !hit {
+		t.Fatal("swapped-in block not resident")
+	}
+	if v.Len() != 0 {
+		t.Fatalf("Len = %d after probe removed the last entry", v.Len())
+	}
+}
+
+// TestVictimLRUAfterTake checks recency ordering across the take/reinsert
+// cycle: vacating an entry must not disturb the LRU order of the rest.
+func TestVictimLRUAfterTake(t *testing.T) {
+	v := NewVictim(2, 32)
+	v.Insert(0x100, false)
+	v.Insert(0x200, false)
+	if _, hit := v.Probe(0x100); !hit {
+		t.Fatal("resident block missed")
+	}
+	// Slots now: {0x200}. Insert two more; the first eviction must be
+	// 0x200 (oldest), not the fresher 0x300.
+	if ev := v.Insert(0x300, false); ev.Valid {
+		t.Fatalf("insert into half-empty cache evicted %+v", ev)
+	}
+	ev := v.Insert(0x400, true)
+	if !ev.Valid || ev.BlockAddr != 0x200 {
+		t.Fatalf("evicted %+v, want the LRU block 0x200", ev)
+	}
+}
+
+// TestVictimDirtyThroughSwap checks the dirty bit rides along both halves
+// of a swap: a dirty victim probe reports dirty (the promotion must mark
+// the primary line), and a dirty insert surfaces as a dirty eviction later
+// (the write-back is not lost).
+func TestVictimDirtyThroughSwap(t *testing.T) {
+	v := NewVictim(1, 32)
+	v.Insert(0x100, true)
+	ev := v.Insert(0x200, false)
+	if !ev.Valid || ev.BlockAddr != 0x100 || !ev.Dirty {
+		t.Fatalf("evicted %+v, want dirty block 0x100", ev)
+	}
+	if dirty, hit := v.Probe(0x200); !hit || dirty {
+		t.Fatalf("probe = (dirty=%v, hit=%v), want clean hit", dirty, hit)
+	}
+}
+
+// TestVictimBlockGranularity checks sub-block addresses alias to one entry.
+func TestVictimBlockGranularity(t *testing.T) {
+	v := NewVictim(4, 64)
+	v.Insert(0x1000, false)
+	for _, a := range []mem.Addr{0x1000, 0x101F, 0x103F} {
+		v.Insert(a, false)
+	}
+	if v.Len() != 1 {
+		t.Fatalf("Len = %d, want 1: all addresses share one 64-byte block", v.Len())
+	}
+	if _, hit := v.Probe(0x1020); !hit {
+		t.Fatal("same-block address missed")
+	}
+}
+
+// TestClassifierTinySizes checks shadow-classifier conservation
+// (compulsory + capacity + conflict == misses) at degenerate geometries —
+// a single-line cache, a single-set cache and a fully-associative one —
+// where off-by-one bugs in the shadow would show first.
+func TestClassifierTinySizes(t *testing.T) {
+	cfgs := []Config{
+		{Size: 16, Assoc: 1, Block: 16}, // one line
+		{Size: 32, Assoc: 2, Block: 16}, // one set, two ways
+		{Size: 64, Assoc: 4, Block: 16}, // fully associative
+	}
+	for _, cfg := range cfgs {
+		c := New(cfg)
+		cl := NewClassifier(cfg)
+		x := uint64(99)
+		misses := uint64(0)
+		for i := 0; i < 3000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			addr := mem.Addr(x>>40) & 0xFF
+			hit := c.Lookup(addr, false)
+			if !hit {
+				c.Fill(addr, false)
+				misses++
+			}
+			cl.Observe(addr, !hit)
+		}
+		if got := cl.Stats.Total(); got != misses {
+			t.Errorf("%+v: classified %d misses, cache saw %d (%+v)", cfg, got, misses, cl.Stats)
+		}
+		// When the cache is already fully associative its shadow is an
+		// exact replica: nothing can be a conflict miss.
+		if cfg.Assoc == cfg.Lines() && cl.Stats.Conflict != 0 {
+			t.Errorf("%+v: %d conflict misses in a fully-associative cache", cfg, cl.Stats.Conflict)
+		}
+	}
+}
+
+// TestClassifierSingleLine walks the one-line case by hand: alternating
+// two blocks is all capacity (the one-entry shadow also thrashes), and
+// re-touching the resident block is a hit.
+func TestClassifierSingleLine(t *testing.T) {
+	cfg := Config{Size: 16, Assoc: 1, Block: 16}
+	c := New(cfg)
+	cl := NewClassifier(cfg)
+	access := func(a mem.Addr) MissKind {
+		hit := c.Lookup(a, false)
+		if !hit {
+			c.Fill(a, false)
+		}
+		return cl.Observe(a, !hit)
+	}
+	if k := access(0x00); k != MissCompulsory {
+		t.Fatalf("first touch: %v", k)
+	}
+	if k := access(0x10); k != MissCompulsory {
+		t.Fatalf("first touch of second block: %v", k)
+	}
+	if k := access(0x00); k != MissCapacity {
+		t.Fatalf("thrash miss: %v, want capacity (shadow holds one line too)", k)
+	}
+	if k := access(0x00); k != MissNone {
+		t.Fatalf("re-touch: %v, want hit", k)
+	}
+}

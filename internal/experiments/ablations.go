@@ -25,11 +25,15 @@ func runPair(ws []workloads.Workload, v core.Version, def, abl core.Options) []A
 	if ws == nil {
 		ws = workloads.All()
 	}
+	// One cache across the pair: the base stream is shared, and ablations
+	// that only change the machine or mechanism parameters (not the
+	// compiler or region configuration) replay the default stream too.
+	tc := NewTraceCache("")
 	return parallel.Map(0, len(ws), func(i int) AblationRow {
 		w := ws[i]
-		base := core.Run(w.Build, core.Base, def)
-		d := core.Run(w.Build, v, def)
-		a := core.Run(w.Build, v, abl)
+		base := core.ReplayTrace(tc.Get(w, core.Base, def), core.Base, def)
+		d := core.ReplayTrace(tc.Get(w, v, def), v, def)
+		a := core.ReplayTrace(tc.Get(w, v, abl), v, abl)
 		return AblationRow{
 			Benchmark: w.Name,
 			Default:   core.Improvement(base, d),
@@ -116,12 +120,13 @@ func ThresholdSweep(thresholds []float64, ws []workloads.Workload) []ThresholdRo
 		improvement float64
 		markers     uint64
 	}
+	tc := NewTraceCache("") // base streams shared across thresholds
 	cells := parallel.Map(0, len(thresholds)*len(ws), func(i int) cell {
 		o := core.DefaultOptions()
 		o.Regions = regions.Config{Threshold: thresholds[i/len(ws)], Propagate: true, Eliminate: true}
 		w := ws[i%len(ws)]
-		base := core.Run(w.Build, core.Base, o)
-		sel := core.Run(w.Build, core.Selective, o)
+		base := core.ReplayTrace(tc.Get(w, core.Base, o), core.Base, o)
+		sel := core.ReplayTrace(tc.Get(w, core.Selective, o), core.Selective, o)
 		return cell{improvement: core.Improvement(base, sel), markers: sel.Sim.Markers}
 	})
 	out := make([]ThresholdRow, 0, len(thresholds))
@@ -198,11 +203,12 @@ func CompilerPasses(ws []workloads.Workload) []CompilerPassRow {
 		o.Opt.ScalarRepl = false
 	})
 
+	tc := NewTraceCache("")
 	return parallel.Map(0, len(ws), func(i int) CompilerPassRow {
 		w := ws[i]
-		base := core.Run(w.Build, core.Base, full)
+		base := core.ReplayTrace(tc.Get(w, core.Base, full), core.Base, full)
 		imp := func(o core.Options) float64 {
-			return core.Improvement(base, core.Run(w.Build, core.PureSoftware, o))
+			return core.Improvement(base, core.ReplayTrace(tc.Get(w, core.PureSoftware, o), core.PureSoftware, o))
 		}
 		return CompilerPassRow{
 			Benchmark:  w.Name,
@@ -248,16 +254,19 @@ func MATDesignSweep(ws []workloads.Workload) []DesignPointRow {
 	// Flatten (design point × benchmark) into one fan-out, then reduce per
 	// point in benchmark order.
 	type cell struct{ pureHW, selective float64 }
+	// MAT parameters never enter the event stream, so every design point
+	// replays the same base and selective captures.
+	tc := NewTraceCache("")
 	cells := parallel.Map(0, len(points)*len(ws), func(i int) cell {
 		m := mat.DefaultConfig()
 		points[i/len(ws)].mod(&m)
 		o := core.DefaultOptions()
 		o.MAT = m
 		w := ws[i%len(ws)]
-		base := core.Run(w.Build, core.Base, o)
+		base := core.ReplayTrace(tc.Get(w, core.Base, o), core.Base, o)
 		return cell{
-			pureHW:    core.Improvement(base, core.Run(w.Build, core.PureHardware, o)),
-			selective: core.Improvement(base, core.Run(w.Build, core.Selective, o)),
+			pureHW:    core.Improvement(base, core.ReplayTrace(tc.Get(w, core.PureHardware, o), core.PureHardware, o)),
+			selective: core.Improvement(base, core.ReplayTrace(tc.Get(w, core.Selective, o), core.Selective, o)),
 		}
 	})
 	out := make([]DesignPointRow, 0, len(points))

@@ -64,13 +64,16 @@ func (sw Sweep) Events() uint64 {
 }
 
 // runRow is one sweep cell: a single benchmark through all five versions.
-// Cells share nothing — each core.Run builds a fresh program and machine —
-// so runRow is safe to execute on any worker.
-func runRow(w workloads.Workload, o core.Options) Row {
+// Cells share no mutable state beyond the trace cache — each version run
+// replays a recorded stream through a fresh machine — so runRow is safe to
+// execute on any worker. The first run needing a stream records it via the
+// cache; RunStats is byte-identical to a live core.Run either way (modulo
+// the documented WallNanos nondeterminism).
+func runRow(w workloads.Workload, o core.Options, tc *TraceCache) Row {
 	row := Row{Benchmark: w.Name, Class: w.Class}
 	var base core.Result
 	for _, v := range core.Versions() {
-		res := core.Run(w.Build, v, o)
+		res := core.ReplayTrace(tc.Get(w, v, o), v, o)
 		if v == core.Base {
 			base = res
 		}
@@ -119,11 +122,20 @@ func RunSweep(o core.Options, ws []workloads.Workload) Sweep {
 // RunSweepWorkers is RunSweep with an explicit worker count (< 1: one per
 // CPU; parallel.Serial: plain loop on the calling goroutine).
 func RunSweepWorkers(o core.Options, ws []workloads.Workload, workers int) Sweep {
+	return RunSweepCached(o, ws, workers, nil)
+}
+
+// RunSweepCached is RunSweepWorkers with an explicit trace cache, so a
+// caller running several sweeps (cmd/experiments, Table3) shares recorded
+// streams across them. A nil cache means a private per-sweep one: each
+// distinct stream is still interpreted only once within the sweep.
+func RunSweepCached(o core.Options, ws []workloads.Workload, workers int, tc *TraceCache) Sweep {
 	if ws == nil {
 		ws = workloads.All()
 	}
+	tc = tc.orNew()
 	rows := parallel.Map(workers, len(ws), func(i int) Row {
-		return runRow(ws[i], o)
+		return runRow(ws[i], o, tc)
 	})
 	return assemble(o, rows)
 }
@@ -184,10 +196,17 @@ func RunFigure(f FigureID) Sweep {
 
 // RunFigureWorkers is RunFigure with an explicit worker count.
 func RunFigureWorkers(f FigureID, workers int) Sweep {
+	return RunFigureCached(f, workers, nil)
+}
+
+// RunFigureCached is RunFigureWorkers with a shared trace cache. Figures
+// 4–9 differ only in machine configuration, so one cache lets all six
+// replay the same 39 recorded streams.
+func RunFigureCached(f FigureID, workers int, tc *TraceCache) Sweep {
 	o := core.DefaultOptions()
 	o.Machine = f.Config()
 	o.Mechanism = sim.HWBypass
-	return RunSweepWorkers(o, nil, workers)
+	return RunSweepCached(o, nil, workers, tc)
 }
 
 // Table2Row holds one benchmark's characteristics under the base machine
@@ -211,12 +230,19 @@ func Table2() []Table2Row {
 
 // Table2Workers is Table2 with an explicit worker count.
 func Table2Workers(workers int) []Table2Row {
+	return Table2Cached(workers, nil)
+}
+
+// Table2Cached is Table2Workers with a shared trace cache: the base
+// streams it records are the same ones the figures and Table 3 replay.
+func Table2Cached(workers int, tc *TraceCache) []Table2Row {
 	o := core.DefaultOptions()
 	o.Classify = true
 	ws := workloads.All()
+	tc = tc.orNew()
 	return parallel.Map(workers, len(ws), func(i int) Table2Row {
 		w := ws[i]
-		res := core.Run(w.Build, core.Base, o)
+		res := core.ReplayTrace(tc.Get(w, core.Base, o), core.Base, o)
 		s := res.Sim
 		row := Table2Row{
 			Benchmark:    w.Name,
@@ -260,17 +286,26 @@ func Table3Workers(workers int) []Table3Row {
 // Table3Detail additionally returns the underlying sweeps, interleaved
 // bypass/victim per configuration (throughput reporting and tests).
 func Table3Detail(workers int) ([]Table3Row, []Sweep) {
-	return table3Detail(workers, nil)
+	return Table3Cached(workers, nil)
+}
+
+// Table3Cached is Table3Detail with a shared trace cache.
+func Table3Cached(workers int, tc *TraceCache) ([]Table3Row, []Sweep) {
+	return table3Detail(workers, nil, tc)
 }
 
 // table3Detail flattens the full (configuration × mechanism × benchmark)
 // space — 6 × 2 × 13 = 156 cells by default — into one Map call, so the
 // pool stays saturated across sweep boundaries instead of draining twelve
-// times. ws overrides the benchmark list for tests.
-func table3Detail(workers int, ws []workloads.Workload) ([]Table3Row, []Sweep) {
+// times. Every cell replays cached streams: the 780 version runs behind
+// the default table reduce to 39 recordings (13 benchmarks × 3 stream
+// classes; nothing in the key varies across configurations or mechanisms).
+// ws overrides the benchmark list for tests.
+func table3Detail(workers int, ws []workloads.Workload, tc *TraceCache) ([]Table3Row, []Sweep) {
 	if ws == nil {
 		ws = workloads.All()
 	}
+	tc = tc.orNew()
 	cfgs := sim.ExperimentConfigs()
 	// Sweep order matches the serial reference: per configuration, bypass
 	// then victim.
@@ -285,7 +320,7 @@ func table3Detail(workers int, ws []workloads.Workload) ([]Table3Row, []Sweep) {
 	}
 
 	rows := parallel.Map(workers, len(opts)*len(ws), func(i int) Row {
-		return runRow(ws[i%len(ws)], opts[i/len(ws)])
+		return runRow(ws[i%len(ws)], opts[i/len(ws)], tc)
 	})
 
 	sweeps := make([]Sweep, len(opts))

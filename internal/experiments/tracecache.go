@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"selcache/internal/core"
+	"selcache/internal/opt"
+	"selcache/internal/regions"
+	"selcache/internal/trace"
+	"selcache/internal/workloads"
+)
+
+// traceKey identifies one recorded event stream. Streams are keyed per
+// core.Stream, not per version: Base/PureHardware and PureSoftware/Combined
+// pairs replay the same capture, and nothing about the machine
+// configuration or hardware mechanism enters the key because the stream
+// does not depend on them. Opt is zeroed for base streams (untransformed
+// code) and Regions is zeroed for everything but selective streams, so the
+// key never over-splits the cache.
+type traceKey struct {
+	bench   string
+	stream  core.Stream
+	opt     opt.Options
+	regions regions.Config
+}
+
+func keyFor(w workloads.Workload, v core.Version, o core.Options) traceKey {
+	o = o.Normalized()
+	k := traceKey{bench: w.Name, stream: v.Stream()}
+	switch k.stream {
+	case core.StreamOptimized:
+		k.opt = o.Opt
+	case core.StreamSelective:
+		k.opt = o.Opt
+		k.regions = o.Regions
+	}
+	return k
+}
+
+// filename derives a stable on-disk name for a key: benchmark and stream
+// for the human, an FNV-1a hash of the full key for collision safety.
+func (k traceKey) filename() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%#v|%#v", k.bench, k.stream, k.opt, k.regions)
+	return fmt.Sprintf("%s-%s-%016x.sctrace", k.bench, k.stream, h.Sum64())
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+}
+
+// TraceCacheStats reports cache effectiveness for throughput summaries.
+type TraceCacheStats struct {
+	// Hits counts Get calls served by an already-present stream, Misses
+	// those that had to record (or load) one.
+	Hits, Misses uint64
+	// DiskLoads counts misses satisfied from the persistence directory
+	// instead of a fresh recording; DiskErrors counts failed saves/loads
+	// of valid work (corrupt or unreadable files fall back to recording).
+	DiskLoads, DiskErrors uint64
+	// Streams is the number of distinct streams held and Bytes their
+	// total encoded payload size.
+	Streams uint64
+	Bytes   uint64
+}
+
+// TraceCache is a concurrency-safe store of recorded event streams keyed
+// by (benchmark, stream class, compiler configuration). Every experiment
+// entry point funnels its per-version runs through one, so each distinct
+// program variant is interpreted once and replayed everywhere else —
+// including across the internal/parallel worker pool, where the first
+// worker to need a stream records it and the rest block on that recording
+// rather than repeating it.
+//
+// Streams are retained for the cache's lifetime (a full Table 3 keeps all
+// 39 streams, tens of megabytes — noise next to the simulation itself).
+// With a persistence directory, streams are additionally written as
+// .sctrace files and reused by later runs; the directory is trusted, so
+// delete it after changing workloads, the optimizer, or region detection
+// (the golden-trace tests catch unintended stream drift).
+type TraceCache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+
+	hits, misses, diskLoads, diskErrors, bytes atomic.Uint64
+}
+
+// NewTraceCache returns an empty cache. dir, when non-empty, enables
+// .sctrace persistence (the directory is created on first use).
+func NewTraceCache(dir string) *TraceCache {
+	return &TraceCache{dir: dir, entries: make(map[traceKey]*traceEntry)}
+}
+
+// Get returns the event stream version v of workload w emits under o,
+// recording (or loading) it on first use.
+func (tc *TraceCache) Get(w workloads.Workload, v core.Version, o core.Options) *trace.Trace {
+	key := keyFor(w, v, o)
+	tc.mu.Lock()
+	e, ok := tc.entries[key]
+	if !ok {
+		e = &traceEntry{}
+		tc.entries[key] = e
+	}
+	tc.mu.Unlock()
+	if ok {
+		tc.hits.Add(1)
+	} else {
+		tc.misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.tr = tc.fill(key, w, o)
+		tc.bytes.Add(uint64(e.tr.EncodedSize()))
+	})
+	return e.tr
+}
+
+// canonical maps a stream class to the version whose Prepare recipe
+// produces it.
+func canonical(s core.Stream) core.Version {
+	switch s {
+	case core.StreamOptimized:
+		return core.PureSoftware
+	case core.StreamSelective:
+		return core.Selective
+	default:
+		return core.Base
+	}
+}
+
+func (tc *TraceCache) fill(key traceKey, w workloads.Workload, o core.Options) *trace.Trace {
+	var path string
+	if tc.dir != "" {
+		path = filepath.Join(tc.dir, key.filename())
+		if t, err := trace.ReadFile(path); err == nil {
+			tc.diskLoads.Add(1)
+			return t
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			tc.diskErrors.Add(1)
+		}
+	}
+	t, _, _ := core.RecordTrace(w.Build, canonical(key.stream), o)
+	if path != "" {
+		if err := os.MkdirAll(tc.dir, 0o755); err != nil {
+			tc.diskErrors.Add(1)
+		} else if err := t.WriteFile(path); err != nil {
+			tc.diskErrors.Add(1)
+		}
+	}
+	return t
+}
+
+// Stats snapshots the cache counters.
+func (tc *TraceCache) Stats() TraceCacheStats {
+	tc.mu.Lock()
+	streams := uint64(len(tc.entries))
+	tc.mu.Unlock()
+	return TraceCacheStats{
+		Hits:       tc.hits.Load(),
+		Misses:     tc.misses.Load(),
+		DiskLoads:  tc.diskLoads.Load(),
+		DiskErrors: tc.diskErrors.Load(),
+		Streams:    streams,
+		Bytes:      tc.bytes.Load(),
+	}
+}
+
+// orNew returns tc, or a fresh private cache when tc is nil — the
+// uncached-entry-point path still records each distinct stream only once
+// within its own sweep.
+func (tc *TraceCache) orNew() *TraceCache {
+	if tc != nil {
+		return tc
+	}
+	return NewTraceCache("")
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"selcache/internal/mem"
+)
+
+// Kind labels one replayed emitter call.
+type Kind uint8
+
+const (
+	// KindCompute is a Compute(n) call.
+	KindCompute Kind = iota
+	// KindMarker is a Marker(on) call.
+	KindMarker
+	// KindAccess is an Access(addr, size, write) call.
+	KindAccess
+	// KindEnd marks the end of the stream (only produced by
+	// FirstDivergence for the shorter of two traces).
+	KindEnd
+)
+
+// Event is one emitter call in replay order. Compute runs are expanded, so
+// the sequence of Events matches the calls Replay issues one to one.
+type Event struct {
+	Kind Kind
+
+	// Addr, Size and Write are set for KindAccess.
+	Addr  mem.Addr
+	Size  uint8
+	Write bool
+
+	// N is set for KindCompute.
+	N int
+
+	// On is set for KindMarker.
+	On bool
+}
+
+// String renders the event the way the golden-trace diff prints it.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindCompute:
+		return fmt.Sprintf("Compute(%d)", e.N)
+	case KindMarker:
+		if e.On {
+			return "Marker(ON)"
+		}
+		return "Marker(OFF)"
+	case KindAccess:
+		rw := "load"
+		if e.Write {
+			rw = "store"
+		}
+		return fmt.Sprintf("%s %d bytes @ 0x%x", rw, e.Size, e.Addr)
+	case KindEnd:
+		return "<end of stream>"
+	default:
+		return fmt.Sprintf("Event(kind=%d)", e.Kind)
+	}
+}
+
+// Cursor iterates a trace's events one emitter call at a time. Obtain one
+// with Trace.Cursor; the zero value is empty.
+type Cursor struct {
+	payload []byte
+	prev    mem.Addr
+
+	// Remaining repeat count of the current compute run.
+	runN    int
+	runLeft uint64
+}
+
+// Cursor returns an iterator positioned before the first event.
+func (t *Trace) Cursor() *Cursor {
+	return &Cursor{payload: t.payload}
+}
+
+// Next returns the next emitter call. ok is false at the end of the
+// stream. The payload was validated at construction, so iteration cannot
+// fail.
+func (c *Cursor) Next() (ev Event, ok bool) {
+	if c.runLeft > 0 {
+		c.runLeft--
+		return Event{Kind: KindCompute, N: c.runN}, true
+	}
+	if len(c.payload) == 0 {
+		return Event{Kind: KindEnd}, false
+	}
+	tag := c.payload[0]
+	c.payload = c.payload[1:]
+	switch tag & 0x03 {
+	case kindAccess:
+		delta, n := binary.Varint(c.payload)
+		c.payload = c.payload[n:]
+		c.prev = mem.Addr(int64(c.prev) + delta)
+		return Event{
+			Kind:  KindAccess,
+			Addr:  c.prev,
+			Size:  1 << ((tag & accSizeMask) >> accSizeShift),
+			Write: tag&accWriteBit != 0,
+		}, true
+	case kindCompute:
+		cn, n := binary.Uvarint(c.payload)
+		c.payload = c.payload[n:]
+		count, n := binary.Uvarint(c.payload)
+		c.payload = c.payload[n:]
+		c.runN = int(cn)
+		c.runLeft = count - 1
+		return Event{Kind: KindCompute, N: c.runN}, true
+	default: // kindMarkerOn, kindMarkerOff
+		return Event{Kind: KindMarker, On: tag&0x03 == kindMarkerOn}, true
+	}
+}
+
+// FirstDivergence compares two traces call by call. It returns the index
+// of the first differing emitter call plus both sides' events at that
+// index; diverged is false when the streams are identical. When one stream
+// is a prefix of the other, the shorter side's event is KindEnd.
+func FirstDivergence(a, b *Trace) (idx uint64, ea, eb Event, diverged bool) {
+	ca, cb := a.Cursor(), b.Cursor()
+	for {
+		ea, okA := ca.Next()
+		eb, okB := cb.Next()
+		if !okA && !okB {
+			return idx, ea, eb, false
+		}
+		if ea != eb {
+			return idx, ea, eb, true
+		}
+		idx++
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"selcache/internal/mem"
+)
+
+// FuzzTraceRoundTrip exercises both directions of the codec:
+//
+//   - Treating the input as an encoded stream, Decode must reject corrupt
+//     or truncated bytes with an error — never a panic — and anything it
+//     accepts must re-encode stably.
+//   - Treating the input as an event script, a recorded stream must decode
+//     and replay call-for-call losslessly.
+//
+// Run continuously with `go test ./internal/trace -fuzz FuzzTraceRoundTrip`.
+func FuzzTraceRoundTrip(f *testing.F) {
+	r := NewRecorder()
+	emit(r)
+	f.Add(r.Trace().Encode())
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(append([]byte(magic), 0xFF, 0xFF, 0xFF))
+	f.Add([]byte{0x73, 0x63, 0x74, 0x72, 0x61, 0x63, 0x65, 0x02, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if tr, err := Decode(data); err == nil {
+			enc := tr.Encode()
+			tr2, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("re-decoding an accepted stream failed: %v", err)
+			}
+			if tr2.Meta != tr.Meta || !bytes.Equal(tr2.Encode(), enc) {
+				t.Fatal("decode/encode is not stable")
+			}
+		}
+
+		var want callLog
+		runScript(data, &want)
+		rec := NewRecorder()
+		runScript(data, rec)
+		dec, err := Decode(rec.Trace().Encode())
+		if err != nil {
+			t.Fatalf("round trip rejected a freshly recorded stream: %v", err)
+		}
+		var got callLog
+		dec.Replay(&got)
+		if len(got.calls) != len(want.calls) {
+			t.Fatalf("replay produced %d calls, script made %d", len(got.calls), len(want.calls))
+		}
+		for i := range want.calls {
+			if got.calls[i] != want.calls[i] {
+				t.Fatalf("call %d: replayed %+v, script made %+v", i, got.calls[i], want.calls[i])
+			}
+		}
+		if n := uint64(len(want.calls)); dec.Meta.Events != n {
+			t.Fatalf("header counts %d events, script made %d calls", dec.Meta.Events, n)
+		}
+	})
+}
+
+// runScript interprets data as an event script: two bytes per call, mixing
+// forward/backward deltas, long jumps, every access size, compute runs and
+// markers. Only emitter calls the Recorder accepts are generated (sizes in
+// {1,2,4,8}, Compute n > 0).
+func runScript(data []byte, em mem.Emitter) {
+	var addr mem.Addr
+	for i := 0; i+1 < len(data); i += 2 {
+		op, arg := data[i], data[i+1]
+		switch op & 0x03 {
+		case 0:
+			addr += mem.Addr(int64(int8(arg)) * 3)
+			em.Access(addr, 1<<(op>>2&0x03), op&0x10 != 0)
+		case 1:
+			em.Compute(1 + int(arg))
+		case 2:
+			em.Marker(arg&1 == 1)
+		case 3:
+			addr = mem.Addr(arg) << (op >> 2 & 0x3F)
+			em.Access(addr, 8, false)
+		}
+	}
+}

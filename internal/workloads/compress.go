@@ -36,20 +36,28 @@ const (
 )
 
 func buildCompress() *loopir.Program {
+	return buildCompressSized(compressInput, compressBlock, compressHtabSize, compressMaxFill)
+}
+
+// buildCompressSized builds the LZW program over an input of the given
+// size, split into blocks, with a hash dictionary of htabSize slots capped
+// at maxFill entries. The tiny golden-trace workloads shrink all four; the
+// hot-dictionary structure survives at any scale.
+func buildCompressSized(input, block, htabSize, maxFill int) *loopir.Program {
 	sp := mem.NewSpace()
-	in := mem.NewArray(sp, "input", 1, compressInput, 1)
+	in := mem.NewArray(sp, "input", 1, input, 1)
 	in.EnsureData()
-	out := mem.NewArray(sp, "output", 8, compressInput/2, 1)
-	htab := mem.NewArray(sp, "htab", 8, compressHtabSize, 1)
+	out := mem.NewArray(sp, "output", 8, input/2, 1)
+	htab := mem.NewArray(sp, "htab", 8, htabSize, 1)
 	htab.EnsureData()
-	codetab := mem.NewArray(sp, "codetab", 8, compressHtabSize, 1)
+	codetab := mem.NewArray(sp, "codetab", 8, htabSize, 1)
 	codetab.EnsureData()
 
 	// Synthetic English-ish corpus: skewed letters with word structure,
 	// so digram frequencies are heavy-tailed and the dictionary develops
 	// hot entries.
 	rng := db.NewRNG(0xC0DE_C0DE)
-	for i := 0; i < compressInput; i++ {
+	for i := 0; i < input; i++ {
 		var b int64
 		switch {
 		case rng.Intn(6) == 0:
@@ -62,16 +70,16 @@ func buildCompress() *loopir.Program {
 
 	prog := &loopir.Program{Name: "compress"}
 	outPos := 0
-	blocks := compressInput / compressBlock
+	blocks := input / block
 	for blk := 0; blk < blocks; blk++ {
-		blkBase := blk * compressBlock
+		blkBase := blk * block
 		s := itoa(blk)
 
 		// Regular part: reset the hash table for the new block.
 		clear := stmt("htab-clear", 1,
 			loopir.AffineRef(htab, true, v("rst"), c(0)))
 		prog.Body = append(prog.Body,
-			loopir.ForLoop("rst"+s, compressHtabSize,
+			loopir.ForLoop("rst"+s, htabSize,
 				renameStmtVars(clear, "rst", "rst"+s)))
 
 		lzw := &loopir.Stmt{
@@ -83,7 +91,7 @@ func buildCompress() *loopir.Program {
 				loopir.OpaqueRef(loopir.ClassPointer, out, true),
 			},
 			Run: func(ctx *loopir.Ctx) {
-				for i := 0; i < compressHtabSize; i++ {
+				for i := 0; i < htabSize; i++ {
 					htab.SetData(0, i, 0)
 				}
 				nextCode := int64(256)
@@ -91,11 +99,11 @@ func buildCompress() *loopir.Program {
 				emit := func(code int64) {
 					ctx.StoreVal(out, code, outPos, 0)
 					outPos++
-					if outPos == compressInput/2 {
+					if outPos == input/2 {
 						outPos = 0
 					}
 				}
-				for i := 0; i < compressBlock; i++ {
+				for i := 0; i < block; i++ {
 					ch := ctx.LoadVal(in, blkBase+i, 0)
 					ctx.Compute(4)
 					if prefix < 0 {
@@ -103,7 +111,7 @@ func buildCompress() *loopir.Program {
 						continue
 					}
 					key := prefix<<9 | ch
-					h := int(uint64(key) * 0x9E3779B97F4A7C15 >> 52 % compressHtabSize)
+					h := int(uint64(key) * 0x9E3779B97F4A7C15 >> 52 % uint64(htabSize))
 					disp := 1 + int(key)%97
 					found := false
 					for probe := 0; probe < compressMaxLen; probe++ {
@@ -112,7 +120,7 @@ func buildCompress() *loopir.Program {
 						if k == 0 {
 							// Empty slot: add the new string if the
 							// dictionary is still growing.
-							if nextCode < compressMaxFill {
+							if nextCode < int64(maxFill) {
 								ctx.StoreVal(htab, key, h, 0)
 								ctx.StoreVal(codetab, nextCode, h, 0)
 								nextCode++
@@ -124,7 +132,7 @@ func buildCompress() *loopir.Program {
 							found = true
 							break
 						}
-						h = (h + disp) % compressHtabSize
+						h = (h + disp) % htabSize
 					}
 					if !found {
 						emit(prefix)

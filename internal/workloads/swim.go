@@ -28,16 +28,21 @@ const (
 	swimSteps = 2
 )
 
-func buildSwim() *loopir.Program {
+func buildSwim() *loopir.Program { return buildSwimSized(swimN, swimSteps) }
+
+// buildSwimSized builds the stencil program on an n×n grid over the given
+// number of time steps. The tiny golden-trace workloads shrink n to keep
+// committed captures small; the structure is identical at any size.
+func buildSwimSized(n, steps int) *loopir.Program {
 	sp := mem.NewSpace()
-	d := swimN + 2
+	d := n + 2
 	arr := func(name string) *mem.Array { return mem.NewPaddedArray(sp, name, 8, 1, d, d) }
 	u, vv, p := arr("U"), arr("V"), arr("P")
 	unew, vnew, pnew := arr("UNEW"), arr("VNEW"), arr("PNEW")
 	cu, cv, z, h := arr("CU"), arr("CV"), arr("Z"), arr("H")
 
 	prog := &loopir.Program{Name: "swim"}
-	for step := 0; step < swimSteps; step++ {
+	for step := 0; step < steps; step++ {
 		it := func(base string) string { return base + itoa(step) }
 
 		// calc1: fluxes and vorticity. Inner loop i walks dimension 0
@@ -57,8 +62,8 @@ func buildSwim() *loopir.Program {
 			loopir.AffineRef(u, false, v("i1"), v("j1")),
 			loopir.AffineRef(vv, false, v("i1"), v("j1")),
 		)
-		nest1 := loopir.ForLoop(it("j1"), swimN,
-			loopir.ForLoop(it("i1"), swimN, renameStmtVars(calc1, "i1", it("i1"), "j1", it("j1"))),
+		nest1 := loopir.ForLoop(it("j1"), n,
+			loopir.ForLoop(it("i1"), n, renameStmtVars(calc1, "i1", it("i1"), "j1", it("j1"))),
 		)
 
 		// calc2: advance the state one half step.
@@ -79,8 +84,8 @@ func buildSwim() *loopir.Program {
 			loopir.AffineRef(cu, false, vp("i2", 1), v("j2")),
 			loopir.AffineRef(cv, false, v("i2"), vp("j2", 1)),
 		)
-		nest2 := loopir.ForLoop(it("j2"), swimN,
-			loopir.ForLoop(it("i2"), swimN, renameStmtVars(calc2, "i2", it("i2"), "j2", it("j2"))),
+		nest2 := loopir.ForLoop(it("j2"), n,
+			loopir.ForLoop(it("i2"), n, renameStmtVars(calc2, "i2", it("i2"), "j2", it("j2"))),
 		)
 
 		// calc3: time smoothing / copy-forward.
@@ -99,9 +104,9 @@ func buildSwim() *loopir.Program {
 		// Periodic boundary fix-up rows (cheap 1-D loops).
 		bound := stmt("boundary", 4,
 			loopir.AffineRef(unew, true, c(0), v("jb")),
-			loopir.AffineRef(unew, false, c(swimN), v("jb")),
+			loopir.AffineRef(unew, false, c(n), v("jb")),
 			loopir.AffineRef(vnew, true, c(0), v("jb")),
-			loopir.AffineRef(vnew, false, c(swimN), v("jb")),
+			loopir.AffineRef(vnew, false, c(n), v("jb")),
 		)
 		nestB := loopir.ForLoop(it("jb"), d, renameStmtVars(bound, "jb", it("jb")))
 

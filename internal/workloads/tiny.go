@@ -1,0 +1,34 @@
+package workloads
+
+import "selcache/internal/loopir"
+
+// TinyGolden returns reduced-size variants of one workload per class —
+// swim (regular), compress (irregular) and tpc-c (mixed) — built by the
+// same code as the full-size versions. They exist for the golden-trace
+// regression tests in internal/trace: big enough to exercise the
+// interchange/layout/tiling pipeline, the hash-probe paths and the
+// region-marker machinery, small enough that their committed .sctrace
+// captures stay a few tens of kilobytes. They are deliberately not part
+// of All(): experiments never see them.
+func TinyGolden() []Workload {
+	return []Workload{
+		{
+			Name:   "tiny-swim",
+			Class:  Regular,
+			Models: "swim stencils on a 12x12 grid, 1 step",
+			Build:  func() *loopir.Program { return buildSwimSized(12, 1) },
+		},
+		{
+			Name:   "tiny-compress",
+			Class:  Irregular,
+			Models: "LZW over 1200 bytes, 600-byte blocks, 512-slot dictionary",
+			Build:  func() *loopir.Program { return buildCompressSized(1200, 600, 512, 448) },
+		},
+		{
+			Name:   "tiny-tpcc",
+			Class:  Mixed,
+			Models: "TPC-C mix: 400 items, 200 customers, 40 orders/payments",
+			Build:  func() *loopir.Program { return buildTPCCSized(400, 200, 400, 40, 40, 1<<10, 1<<9) },
+		},
+	}
+}

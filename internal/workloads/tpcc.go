@@ -32,14 +32,22 @@ const (
 )
 
 func buildTPCC() *loopir.Program {
+	return buildTPCCSized(tpccItems, tpccCustomers, tpccOrderLine, tpccNewOrders, tpccPayments, 1<<15, 1<<14)
+}
+
+// buildTPCCSized builds the transaction mix over tables of the given row
+// counts, with stockBuckets/custBuckets hash-index bucket counts (powers of
+// two). The tiny golden-trace workloads shrink everything; the OLTP/OLAP
+// phase structure is identical at any scale.
+func buildTPCCSized(items, customers, orderLine, newOrders, payments, stockBuckets, custBuckets int) *loopir.Program {
 	sp := mem.NewSpace()
 	rng := db.NewRNG(0x7CC0_0001)
-	stock := db.GenStock(sp, rng, tpccItems)
-	cust := db.GenCCustomer(sp, rng, tpccCustomers)
-	oline := db.NewTable(sp, "orderline", tpccOrderLine, db.OrderLineCols...)
+	stock := db.GenStock(sp, rng, items)
+	cust := db.GenCCustomer(sp, rng, customers)
+	oline := db.NewTable(sp, "orderline", orderLine, db.OrderLineCols...)
 
-	stockIdx := db.NewHashIndex(sp, stock, "itemid", 1<<15)
-	custIdx := db.NewHashIndex(sp, cust, "custid", 1<<14)
+	stockIdx := db.NewHashIndex(sp, stock, "itemid", stockBuckets)
+	custIdx := db.NewHashIndex(sp, cust, "custid", custBuckets)
 	for r := 0; r < stock.Rows(); r++ {
 		stockIdx.InsertQuiet(r)
 	}
@@ -59,12 +67,12 @@ func buildTPCC() *loopir.Program {
 		},
 		Run: func(ctx *loopir.Ctx) {
 			ctx.Compute(20)
-			ckey := int64(rng.Skewed(tpccCustomers, 3))
+			ckey := int64(rng.Skewed(customers, 3))
 			if row, ok := custIdx.Lookup(ctx, ckey); ok {
 				cust.LoadVal(ctx, row, "balance")
 			}
 			for l := 0; l < tpccItemsPerO; l++ {
-				item := int64(rng.Skewed(tpccItems, 3.5))
+				item := int64(rng.Skewed(items, 3.5))
 				row, ok := stockIdx.Lookup(ctx, item)
 				if !ok {
 					continue
@@ -77,7 +85,7 @@ func buildTPCC() *loopir.Program {
 				oline.StoreVal(ctx, olRow, 1, "qty")
 				oline.StoreVal(ctx, olRow, 100, "amount")
 				olRow++
-				if olRow == tpccOrderLine {
+				if olRow == orderLine {
 					olRow = 0
 				}
 			}
@@ -92,7 +100,7 @@ func buildTPCC() *loopir.Program {
 		},
 		Run: func(ctx *loopir.Ctx) {
 			ctx.Compute(12)
-			ckey := int64(rng.Skewed(tpccCustomers, 3))
+			ckey := int64(rng.Skewed(customers, 3))
 			if row, ok := custIdx.Lookup(ctx, ckey); ok {
 				b := cust.LoadVal(ctx, row, "balance")
 				cust.StoreVal(ctx, row, b-42, "balance")
@@ -110,17 +118,17 @@ func buildTPCC() *loopir.Program {
 			oline.ScanRef(rv, "qty", false),
 			oline.ScanRef(rv, "itemid", false),
 		)
-		return loopir.ForLoop(rv, tpccOrderLine, s)
+		return loopir.ForLoop(rv, orderLine, s)
 	}
 
 	return &loopir.Program{
 		Name: "tpc-c",
 		Body: []loopir.Node{
-			loopir.ForLoop("no1", tpccNewOrders, newOrder),
+			loopir.ForLoop("no1", newOrders, newOrder),
 			report("1"),
-			loopir.ForLoop("pay1", tpccPayments, payment),
+			loopir.ForLoop("pay1", payments, payment),
 			report("2"),
-			loopir.ForLoop("no2", tpccNewOrders, newOrder.Clone().(*loopir.Stmt)),
+			loopir.ForLoop("no2", newOrders, newOrder.Clone().(*loopir.Stmt)),
 			report("3"),
 		},
 	}
