@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke fuzz-smoke tier1
+.PHONY: check vet build test race bench-smoke fuzz-smoke serve-smoke tier1
 
-check: vet build race bench-smoke fuzz-smoke
+check: vet build race bench-smoke serve-smoke fuzz-smoke
 
 # tier1 is the fast gate the roadmap requires of every change.
 tier1:
@@ -30,6 +30,14 @@ race:
 # not a measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'ParallelSweep|AccessHotPath' -benchtime=1x .
+
+# Boot the selcached daemon on a random port, hit /healthz and one
+# /v1/run through its bundled ctl client, then SIGTERM and assert a
+# clean graceful drain (scripts/serve-smoke.sh).
+serve-smoke:
+	$(GO) build -o /tmp/selcached-smoke ./cmd/selcached
+	sh scripts/serve-smoke.sh /tmp/selcached-smoke
+	rm -f /tmp/selcached-smoke
 
 # 30 seconds of each fuzz target: enough to shake out codec and
 # marker-elimination regressions on fresh inputs without stalling the

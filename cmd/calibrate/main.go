@@ -19,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 
 	"selcache/internal/core"
@@ -48,9 +50,25 @@ type scored struct {
 }
 
 func main() {
-	quick := flag.Bool("quick", false, "coarser grid")
-	workers := flag.Int("workers", 0, "sweep worker pool size (0: one per CPU, 1: serial)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: flag parsing and dispatch with
+// injectable arguments and output streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "coarser grid")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0: one per CPU, 1: serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
 
 	bufLats := []float64{0, 0.5}
 	spans := []int{4}
@@ -69,23 +87,24 @@ func main() {
 					c := combo{bufHitLat: bl, prefL2: pl2, span: span, coldSparse: cs, cold: 64}
 					results = append(results, evaluate(c, *workers))
 					last := results[len(results)-1]
-					fmt.Printf("%s  score=%6.2f  viol=%d\n", c, last.score, len(last.violations))
+					fmt.Fprintf(stdout, "%s  score=%6.2f  viol=%d\n", c, last.score, len(last.violations))
 				}
 			}
 		}
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].score < results[j].score })
-	fmt.Println("\n=== best combinations ===")
+	fmt.Fprintln(stdout, "\n=== best combinations ===")
 	for i := 0; i < len(results) && i < 5; i++ {
 		r := results[i]
-		fmt.Printf("#%d %s score=%.2f\n", i+1, r.c, r.score)
-		fmt.Printf("   avg: hw=%.2f sw=%.2f comb=%.2f sel=%.2f\n",
+		fmt.Fprintf(stdout, "#%d %s score=%.2f\n", i+1, r.c, r.score)
+		fmt.Fprintf(stdout, "   avg: hw=%.2f sw=%.2f comb=%.2f sel=%.2f\n",
 			r.avg[core.PureHardware], r.avg[core.PureSoftware],
 			r.avg[core.Combined], r.avg[core.Selective])
 		for _, v := range r.violations {
-			fmt.Printf("   ! %s\n", v)
+			fmt.Fprintf(stdout, "   ! %s\n", v)
 		}
 	}
+	return nil
 }
 
 // evaluate scores one knob combination. The 13-benchmark sweep inside it

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors pins the CLI error surface: bad flags and stray
+// positional arguments return usage errors instead of starting a
+// multi-second calibration sweep (the success path is exercised by the
+// experiments-package tests that share its entry points).
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"bad flag", []string{"-nonsense"}, "flag provided but not defined"},
+		{"positional arg", []string{"quick"}, "unexpected argument"},
+		{"positional after flag", []string{"-quick", "extra"}, "unexpected argument"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%q) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

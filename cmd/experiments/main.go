@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"time"
@@ -29,35 +30,49 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "table2|figures|table3|all")
-	workers := flag.Int("workers", 0, "worker pool size (0: one per CPU, 1: serial)")
-	tracedir := flag.String("tracedir", "", "persist recorded event traces as .sctrace files in `dir`")
-	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
-	flag.Parse()
-
-	doTable2 := *run == "all" || *run == "table2"
-	doFigures := *run == "all" || *run == "figures"
-	doTable3 := *run == "all" || *run == "table3"
-	if !doTable2 && !doFigures && !doTable3 {
-		fmt.Fprintf(os.Stderr, "experiments: unknown -run %q\n", *run)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: flag parsing and dispatch with
+// injectable arguments and output streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runSel     = fs.String("run", "all", "table2|figures|table3|all")
+		workers    = fs.Int("workers", 0, "worker pool size (0: one per CPU, 1: serial)")
+		tracedir   = fs.String("tracedir", "", "persist recorded event traces as .sctrace files in `dir`")
+		cpuprofile = fs.String("cpuprofile", "", "write CPU profile to `file`")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
+
+	doTable2 := *runSel == "all" || *runSel == "table2"
+	doFigures := *runSel == "all" || *runSel == "figures"
+	doTable3 := *runSel == "all" || *runSel == "table3"
+	if !doTable2 && !doFigures && !doTable3 {
+		return fmt.Errorf("unknown -run %q", *runSel)
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
 
-	w := os.Stdout
 	tc := experiments.NewTraceCache(*tracedir)
 	start := time.Now()
 	var events uint64
@@ -66,15 +81,15 @@ func main() {
 		for _, r := range rows {
 			events += r.Instructions
 		}
-		report.WriteTable2(w, rows)
+		report.WriteTable2(stdout, rows)
 	}
 	if doFigures {
 		for _, f := range experiments.Figures() {
 			sw := experiments.RunFigureCached(f, *workers, tc)
 			events += sw.Events()
-			report.WriteFigure(w, f.Name(), sw)
+			report.WriteFigure(stdout, f.Name(), sw)
 			if f == experiments.Figure4 {
-				report.WriteClassAverages(w, sw)
+				report.WriteClassAverages(stdout, sw)
 			}
 		}
 	}
@@ -83,19 +98,29 @@ func main() {
 		for _, sw := range sweeps {
 			events += sw.Events()
 		}
-		report.WriteTable3(w, rows)
+		report.WriteTable3(stdout, rows)
 	}
 
-	// The summary goes to stderr so redirected stdout stays byte-stable
-	// against the committed reference (experiments_output.txt).
-	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "throughput: %.1fM simulated events in %.1fs (%.1fM events/s, workers=%d)\n",
+	writeSummary(stderr, events, time.Since(start), parallel.Workers(*workers), tc.Stats(), *tracedir != "")
+	return nil
+}
+
+// writeSummary prints the run's throughput and trace-cache effectiveness.
+// It goes to stderr so redirected stdout stays byte-stable against the
+// committed reference (experiments_output.txt). A non-zero disk-error
+// count gets its own warning line: silent persistence failures (a corrupt
+// .sctrace, an unwritable directory) would otherwise look like ordinary
+// cold-cache recordings.
+func writeSummary(w io.Writer, events uint64, elapsed time.Duration, workers int, cs experiments.TraceCacheStats, persisted bool) {
+	fmt.Fprintf(w, "throughput: %.1fM simulated events in %.1fs (%.1fM events/s, workers=%d)\n",
 		float64(events)/1e6, elapsed.Seconds(),
-		float64(events)/1e6/elapsed.Seconds(), parallel.Workers(*workers))
-	cs := tc.Stats()
-	fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses (%d streams, %.1f MB recorded", cs.Hits, cs.Misses, cs.Streams, float64(cs.Bytes)/1e6)
-	if *tracedir != "" {
-		fmt.Fprintf(os.Stderr, ", %d loaded from disk, %d disk errors", cs.DiskLoads, cs.DiskErrors)
+		float64(events)/1e6/elapsed.Seconds(), workers)
+	fmt.Fprintf(w, "trace cache: %d hits, %d misses (%d streams, %.1f MB recorded", cs.Hits, cs.Misses, cs.Streams, float64(cs.Bytes)/1e6)
+	if persisted {
+		fmt.Fprintf(w, ", %d loaded from disk, %d disk errors", cs.DiskLoads, cs.DiskErrors)
 	}
-	fmt.Fprintln(os.Stderr, ")")
+	fmt.Fprintln(w, ")")
+	if cs.DiskErrors > 0 {
+		fmt.Fprintf(w, "warning: %d trace disk errors — persistence is degraded; check -tracedir permissions and delete corrupt .sctrace files\n", cs.DiskErrors)
+	}
 }

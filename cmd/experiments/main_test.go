@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"selcache/internal/experiments"
+)
+
+// TestRunFlagErrors pins the CLI error surface: bad flags, unknown -run
+// selections and stray positional arguments return usage errors instead
+// of starting a multi-minute regeneration.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"bad flag", []string{"-nonsense"}, "flag provided but not defined"},
+		{"unknown run", []string{"-run", "nope"}, `unknown -run "nope"`},
+		{"positional arg", []string{"table2"}, "unexpected argument"},
+		{"positional after flag", []string{"-run", "table2", "extra"}, "unexpected argument"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%q) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestWriteSummaryWarnsOnDiskErrors pins the stderr summary shape, in
+// particular that a non-zero disk-error count gets its own warning line
+// (a silent count buried in the parenthetical was easy to miss) and that
+// a clean persisted run does not warn.
+func TestWriteSummaryWarnsOnDiskErrors(t *testing.T) {
+	stats := experiments.TraceCacheStats{Hits: 10, Misses: 3, DiskLoads: 1, DiskErrors: 2, Streams: 3, Bytes: 1 << 20}
+	var buf bytes.Buffer
+	writeSummary(&buf, 5_000_000, 2*time.Second, 4, stats, true)
+	out := buf.String()
+	for _, want := range []string{
+		"throughput: 5.0M simulated events",
+		"trace cache: 10 hits, 3 misses",
+		"1 loaded from disk, 2 disk errors",
+		"warning: 2 trace disk errors",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	stats.DiskErrors = 0
+	writeSummary(&buf, 5_000_000, 2*time.Second, 4, stats, true)
+	if strings.Contains(buf.String(), "warning:") {
+		t.Errorf("clean run should not warn:\n%s", buf.String())
+	}
+
+	// Without persistence the disk counters are omitted entirely.
+	buf.Reset()
+	writeSummary(&buf, 5_000_000, 2*time.Second, 4, stats, false)
+	if strings.Contains(buf.String(), "loaded from disk") {
+		t.Errorf("unpersisted run should not mention disk:\n%s", buf.String())
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"selcache/internal/loopir"
@@ -19,19 +20,34 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "regions: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: flag parsing and dispatch with
+// injectable arguments and output streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("regions", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "chaos", "benchmark name")
-		threshold = flag.Float64("threshold", 0.5, "analyzable-reference ratio threshold")
-		noProp    = flag.Bool("no-propagate", false, "disable innermost-out propagation")
-		noElim    = flag.Bool("no-eliminate", false, "keep redundant ON/OFF instructions")
-		dump      = flag.Bool("dump", false, "print the annotated program structure")
+		benchName = fs.String("bench", "chaos", "benchmark name")
+		threshold = fs.Float64("threshold", 0.5, "analyzable-reference ratio threshold")
+		noProp    = fs.Bool("no-propagate", false, "disable innermost-out propagation")
+		noElim    = fs.Bool("no-eliminate", false, "keep redundant ON/OFF instructions")
+		dump      = fs.Bool("dump", false, "print the annotated program structure")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
 
 	w, ok := workloads.ByName(*benchName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "regions: unknown benchmark %q\n", *benchName)
-		os.Exit(1)
+		return fmt.Errorf("unknown benchmark %q", *benchName)
 	}
 	prog := w.Build()
 	cfg := regions.Config{
@@ -41,36 +57,37 @@ func main() {
 	}
 	st := regions.Detect(prog, cfg)
 
-	fmt.Printf("benchmark %s (%s)\n", w.Name, w.Class)
-	fmt.Printf("static references: %d analyzable / %d total (ratio %.2f)\n",
+	fmt.Fprintf(stdout, "benchmark %s (%s)\n", w.Name, w.Class)
+	fmt.Fprintf(stdout, "static references: %d analyzable / %d total (ratio %.2f)\n",
 		st.AnalyzableRefs, st.TotalRefs,
 		float64(st.AnalyzableRefs)/float64(max(1, st.TotalRefs)))
-	fmt.Printf("loops: %d software, %d hardware, %d mixed\n",
+	fmt.Fprintf(stdout, "loops: %d software, %d hardware, %d mixed\n",
 		st.SoftwareLoops, st.HardwareLoops, st.MixedLoops)
-	fmt.Printf("markers: %d inserted, %d eliminated as redundant, %d remain\n",
+	fmt.Fprintf(stdout, "markers: %d inserted, %d eliminated as redundant, %d remain\n",
 		st.Inserted, st.Eliminated, regions.MarkerCount(prog))
 
 	if *dump {
-		fmt.Println()
-		fmt.Print(prog.String())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, prog.String())
 	} else {
 		// Per-loop one-liner for the top two nesting levels.
-		fmt.Println("\ntop-level regions:")
+		fmt.Fprintln(stdout, "\ntop-level regions:")
 		for _, n := range prog.Body {
 			switch n := n.(type) {
 			case *loopir.Loop:
-				fmt.Printf("  for %-8s %-9s (ratio %.2f)\n", n.Var, n.Pref, regions.LoopRatio(n))
+				fmt.Fprintf(stdout, "  for %-8s %-9s (ratio %.2f)\n", n.Var, n.Pref, regions.LoopRatio(n))
 			case *loopir.Marker:
 				state := "OFF"
 				if n.On {
 					state = "ON"
 				}
-				fmt.Printf("  @%s\n", state)
+				fmt.Fprintf(stdout, "  @%s\n", state)
 			case *loopir.Stmt:
-				fmt.Printf("  stmt %s\n", n.Name)
+				fmt.Fprintf(stdout, "  stmt %s\n", n.Name)
 			}
 		}
 	}
+	return nil
 }
 
 func max(a, b int) int {

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagParsing covers the CLI surface: error paths return usage
+// errors (matching cmd/cachesim), and the summary path reports the
+// partition for a real benchmark.
+func TestRunFlagParsing(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty means success
+		wantOut string // substring of stdout on success
+	}{
+		{"summary", []string{"-bench", "chaos"}, "", "benchmark chaos (mixed)"},
+		{"dump", []string{"-bench", "adi", "-dump"}, "", "benchmark adi"},
+		{"bad flag", []string{"-nonsense"}, "flag provided but not defined", ""},
+		{"positional arg", []string{"chaos"}, "unexpected argument", ""},
+		{"positional after flag", []string{"-bench", "chaos", "extra"}, "unexpected argument", ""},
+		{"unknown bench", []string{"-bench", "nope"}, `unknown benchmark "nope"`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run(%q) failed: %v", tc.args, err)
+				}
+				if !strings.Contains(stdout.String(), tc.wantOut) {
+					t.Fatalf("stdout %q does not contain %q", stdout.String(), tc.wantOut)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%q) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunMarkerLines checks the summary reports marker placement numbers
+// (the paper's Section 2 output) for a selective-friendly benchmark.
+func TestRunMarkerLines(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bench", "chaos"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"static references:", "loops:", "markers:", "top-level regions:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Command selcached serves the reproduction's simulation engine over a
+// JSON HTTP API with a content-addressed result cache (docs/SERVICE.md).
+//
+// Serve mode (the default):
+//
+//	selcached -addr :8080 -workers 0 -cachedir /var/cache/selcache \
+//	          -tracedir /var/cache/selcache/traces -timeout 2m
+//
+// The daemon logs the bound address to stderr ("selcached: listening on
+// ..."), so -addr 127.0.0.1:0 works for scripts that need a free port.
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
+// in-flight requests complete, background cache fills finish, then the
+// process exits 0.
+//
+// Client mode (selcachectl equivalent):
+//
+//	selcached ctl -addr http://127.0.0.1:8080 health
+//	selcached ctl run -bench swim -config base -mech bypass
+//	selcached ctl sweep -benches swim,compress -configs base
+//	selcached ctl result -key <sha256>
+//	selcached ctl workloads | metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"selcache/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "selcached: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches between serve mode and ctl mode; testable like the
+// other commands.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "ctl" {
+		return runCtl(args[1:], stdout, stderr)
+	}
+	return runServe(args, stdout, stderr, nil)
+}
+
+// runServe boots the daemon. ready, when non-nil, receives the bound
+// address once the listener is up (tests and the smoke script use the
+// stderr line instead).
+func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("selcached", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
+		workers  = fs.Int("workers", 0, "concurrent simulation bound (0: one per CPU)")
+		tracedir = fs.String("tracedir", "", "persist recorded event traces as .sctrace files in `dir`")
+		cachedir = fs.String("cachedir", "", "persist simulation results as <key>.json files in `dir`")
+		entries  = fs.Int("cache-entries", 4096, "in-memory result cache capacity")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "default per-request deadline (0: none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only; did you mean 'selcached ctl'?)", fs.Arg(0))
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		TraceDir:       *tracedir,
+		CacheDir:       *cachedir,
+		CacheEntries:   *entries,
+		DefaultTimeout: *timeout,
+		Log:            stderr,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "selcached: listening on %s (%s)\n", ln.Addr(), srv.Describe())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish (the
+	// shutdown grace period must outlive the slowest simulation), then
+	// wait for background cache fills.
+	fmt.Fprintln(stderr, "selcached: draining")
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Drain()
+	fmt.Fprintln(stderr, "selcached: drained, exiting")
+	return nil
+}
+
+// runCtl is the bundled client. The action comes first so each action can
+// define its own flags:
+//
+//	selcached ctl [-addr URL] <health|metrics|workloads|run|sweep|result> [flags]
+func runCtl(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("selcached ctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("ctl: missing action (health|metrics|workloads|run|sweep|result)")
+	}
+	action, rest := fs.Arg(0), fs.Args()[1:]
+	base := strings.TrimSuffix(*addr, "/")
+
+	switch action {
+	case "health":
+		return ctlGet(base+"/healthz", rest, stdout, stderr)
+	case "metrics":
+		return ctlGet(base+"/metrics", rest, stdout, stderr)
+	case "workloads":
+		return ctlGet(base+"/v1/workloads", rest, stdout, stderr)
+	case "run":
+		return ctlRun(base, rest, stdout, stderr)
+	case "sweep":
+		return ctlSweep(base, rest, stdout, stderr)
+	case "result":
+		return ctlResult(base, rest, stdout, stderr)
+	default:
+		return fmt.Errorf("ctl: unknown action %q", action)
+	}
+}
+
+func ctlGet(url string, args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected argument %q", args[0])
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return ctlBody(resp, stdout)
+}
+
+func ctlRun(base string, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("selcached ctl run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		bench    = fs.String("bench", "", "benchmark name (required)")
+		config   = fs.String("config", "base", "machine configuration")
+		mech     = fs.String("mech", "bypass", "bypass|victim")
+		version  = fs.String("version", "", "restrict response to one version")
+		classify = fs.Bool("classify", false, "attribute misses to conflict/capacity/compulsory")
+		timeout  = fs.Int64("timeout-ms", 0, "request deadline in milliseconds (0: server default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
+	if *bench == "" {
+		return errors.New("ctl run: -bench is required")
+	}
+	body := fmt.Sprintf(`{"workload":%q,"config":%q,"mechanism":%q,"classify":%v,"version":%q,"timeout_ms":%d}`,
+		*bench, *config, *mech, *classify, *version, *timeout)
+	return ctlPost(base+"/v1/run", body, stdout)
+}
+
+func ctlSweep(base string, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("selcached ctl sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		benches = fs.String("benches", "", "comma-separated benchmarks (empty: all)")
+		configs = fs.String("configs", "", "comma-separated configurations (empty: all)")
+		mechs   = fs.String("mechs", "", "comma-separated mechanisms (empty: both)")
+		timeout = fs.Int64("timeout-ms", 0, "request deadline in milliseconds (0: server default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
+	body := fmt.Sprintf(`{"workloads":%s,"configs":%s,"mechanisms":%s,"timeout_ms":%d}`,
+		jsonList(*benches), jsonList(*configs), jsonList(*mechs), *timeout)
+	return ctlPost(base+"/v1/sweep", body, stdout)
+}
+
+func ctlResult(base string, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("selcached ctl result", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	key := fs.String("key", "", "content-addressed result key (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
+	if *key == "" {
+		return errors.New("ctl result: -key is required")
+	}
+	resp, err := http.Get(base + "/v1/results/" + *key)
+	if err != nil {
+		return err
+	}
+	return ctlBody(resp, stdout)
+}
+
+// jsonList renders a comma-separated flag value as a JSON string array
+// ("[]" when empty, which the server treats as "all").
+func jsonList(csv string) string {
+	if csv == "" {
+		return "[]"
+	}
+	parts := strings.Split(csv, ",")
+	quoted := make([]string, len(parts))
+	for i, p := range parts {
+		quoted[i] = fmt.Sprintf("%q", strings.TrimSpace(p))
+	}
+	return "[" + strings.Join(quoted, ",") + "]"
+}
+
+func ctlPost(url, body string, stdout io.Writer) error {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return ctlBody(resp, stdout)
+}
+
+// ctlBody streams the response to stdout and turns non-2xx statuses into
+// a command error (after printing the server's JSON error body).
+func ctlBody(resp *http.Response, stdout io.Writer) error {
+	defer resp.Body.Close()
+	if _, err := io.Copy(stdout, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeFlagErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &errw); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	err := run([]string{"positional"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), `unexpected argument "positional"`) {
+		t.Fatalf("positional arg error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "selcached ctl") {
+		t.Fatalf("error %v should hint at ctl mode", err)
+	}
+}
+
+func TestCtlFlagErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing action", []string{"ctl"}, "missing action"},
+		{"unknown action", []string{"ctl", "dance"}, `unknown action "dance"`},
+		{"run missing bench", []string{"ctl", "run"}, "-bench is required"},
+		{"run positional", []string{"ctl", "run", "-bench", "swim", "extra"}, `unexpected argument "extra"`},
+		{"sweep positional", []string{"ctl", "sweep", "extra"}, `unexpected argument "extra"`},
+		{"result missing key", []string{"ctl", "result"}, "-key is required"},
+		{"health positional", []string{"ctl", "health", "extra"}, `unexpected argument "extra"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, &out, &errw)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestJSONList(t *testing.T) {
+	cases := map[string]string{
+		"":                  "[]",
+		"swim":              `["swim"]`,
+		"swim,compress":     `["swim","compress"]`,
+		" swim , compress ": `["swim","compress"]`,
+		`weird"name`:        `["weird\"name"]`,
+		"a,b,c":             `["a","b","c"]`,
+	}
+	for in, want := range cases {
+		if got := jsonList(in); got != want {
+			t.Errorf("jsonList(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// TestCtlAgainstServer exercises every ctl action against a stub server,
+// including the non-2xx → error contract.
+func TestCtlAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			io.WriteString(w, "ok\n")
+		case "/v1/run":
+			body, _ := io.ReadAll(r.Body)
+			var req map[string]any
+			if err := json.Unmarshal(body, &req); err != nil {
+				t.Errorf("ctl run sent invalid JSON: %s", body)
+			}
+			if req["workload"] != "swim" || req["mechanism"] != "victim" {
+				t.Errorf("ctl run body = %s", body)
+			}
+			io.WriteString(w, `{"key":"abc"}`)
+		case "/v1/sweep":
+			body, _ := io.ReadAll(r.Body)
+			if !strings.Contains(string(body), `"workloads":["swim","compress"]`) {
+				t.Errorf("ctl sweep body = %s", body)
+			}
+			io.WriteString(w, `{"sweeps":[]}`)
+		case "/v1/results/deadbeef":
+			w.WriteHeader(http.StatusNotFound)
+			io.WriteString(w, `{"error":"no result"}`)
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+			w.WriteHeader(http.StatusTeapot)
+		}
+	}))
+	defer ts.Close()
+
+	var errw bytes.Buffer
+	var out bytes.Buffer
+	if err := run([]string{"ctl", "-addr", ts.URL, "health"}, &out, &errw); err != nil {
+		t.Fatalf("ctl health: %v", err)
+	}
+	if out.String() != "ok\n" {
+		t.Fatalf("ctl health output %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"ctl", "-addr", ts.URL, "run", "-bench", "swim", "-mech", "victim"}, &out, &errw); err != nil {
+		t.Fatalf("ctl run: %v", err)
+	}
+	if !strings.Contains(out.String(), `"key":"abc"`) {
+		t.Fatalf("ctl run output %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"ctl", "-addr", ts.URL, "sweep", "-benches", "swim,compress"}, &out, &errw); err != nil {
+		t.Fatalf("ctl sweep: %v", err)
+	}
+
+	// Non-2xx: the body is still printed, and the command fails.
+	out.Reset()
+	err := run([]string{"ctl", "-addr", ts.URL, "result", "-key", "deadbeef"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("ctl result on 404 = %v, want status error", err)
+	}
+	if !strings.Contains(out.String(), "no result") {
+		t.Fatalf("ctl result should print the error body, got %q", out.String())
+	}
+}
+
+// TestServeEndToEnd boots the real daemon on a free port, runs one
+// simulation through it via ctl, then drains it with SIGTERM — the same
+// lifecycle make serve-smoke exercises from the shell.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon end-to-end test skipped in -short mode")
+	}
+	var serveErrw lockedBuffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, io.Discard, &serveErrw, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	var out, errw bytes.Buffer
+	if err := run([]string{"ctl", "-addr", base, "health"}, &out, &errw); err != nil {
+		t.Fatalf("ctl health: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"ctl", "-addr", base, "run", "-bench", "compress"}, &out, &errw); err != nil {
+		t.Fatalf("ctl run: %v", err)
+	}
+	var rr struct {
+		Key      string `json:"key"`
+		Workload string `json:"workload"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rr); err != nil || rr.Workload != "compress" {
+		t.Fatalf("ctl run output %q (err %v)", out.String(), err)
+	}
+
+	// SIGTERM → graceful drain → clean exit.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	logs := serveErrw.String()
+	for _, want := range []string{"listening on", "draining", "drained, exiting"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("daemon log missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+// lockedBuffer guards the daemon's stderr writer: the serve goroutine
+// writes while the test goroutine reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -63,12 +63,17 @@ func (sw Sweep) Events() uint64 {
 	return n
 }
 
-// runRow is one sweep cell: a single benchmark through all five versions.
-// Cells share no mutable state beyond the trace cache — each version run
-// replays a recorded stream through a fresh machine — so runRow is safe to
-// execute on any worker. The first run needing a stream records it via the
-// cache; RunStats is byte-identical to a live core.Run either way (modulo
-// the documented WallNanos nondeterminism).
+// RunRow executes one sweep cell: a single benchmark through all five
+// versions under o, replaying streams from tc (nil: record privately).
+// It is the unit the batch drivers and the selcached service both build
+// on — a cell shares no mutable state beyond the trace cache, so RunRow
+// is safe to execute on any worker, and its RunStats are byte-identical
+// to a live core.Run (modulo the documented WallNanos nondeterminism).
+func RunRow(w workloads.Workload, o core.Options, tc *TraceCache) Row {
+	return runRow(w, o, tc.orNew())
+}
+
+// runRow is RunRow's internal form: tc must be non-nil.
 func runRow(w workloads.Workload, o core.Options, tc *TraceCache) Row {
 	row := Row{Benchmark: w.Name, Class: w.Class}
 	var base core.Result
@@ -82,6 +87,15 @@ func runRow(w workloads.Workload, o core.Options, tc *TraceCache) Row {
 		row.Stats[v] = res.Sim
 	}
 	return row
+}
+
+// Assemble computes the sweep aggregates (overall and per-class average
+// improvement) from already-executed rows. Accumulation runs in row
+// order, so float summation matches the serial reference exactly; callers
+// assembling cells they ran out of order (the selcached sweep endpoint)
+// must sort rows back into request order first.
+func Assemble(o core.Options, rows []Row) Sweep {
+	return assemble(o, rows)
 }
 
 // assemble computes the sweep aggregates from rows. Accumulation runs in

@@ -7,10 +7,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
-	"sync"
 	"sync/atomic"
 
 	"selcache/internal/core"
+	"selcache/internal/flight"
 	"selcache/internal/opt"
 	"selcache/internal/regions"
 	"selcache/internal/trace"
@@ -52,16 +52,16 @@ func (k traceKey) filename() string {
 	return fmt.Sprintf("%s-%s-%016x.sctrace", k.bench, k.stream, h.Sum64())
 }
 
-type traceEntry struct {
-	once sync.Once
-	tr   *trace.Trace
-}
-
-// TraceCacheStats reports cache effectiveness for throughput summaries.
+// TraceCacheStats reports cache effectiveness for throughput summaries
+// and the selcached /metrics endpoint.
 type TraceCacheStats struct {
 	// Hits counts Get calls served by an already-present stream, Misses
 	// those that had to record (or load) one.
 	Hits, Misses uint64
+	// Waits is the subset of Hits that arrived while the stream was
+	// still being recorded by another goroutine and blocked on that
+	// in-flight recording instead of starting their own.
+	Waits uint64
 	// DiskLoads counts misses satisfied from the persistence directory
 	// instead of a fresh recording; DiskErrors counts failed saves/loads
 	// of valid work (corrupt or unreadable files fall back to recording).
@@ -75,10 +75,12 @@ type TraceCacheStats struct {
 // TraceCache is a concurrency-safe store of recorded event streams keyed
 // by (benchmark, stream class, compiler configuration). Every experiment
 // entry point funnels its per-version runs through one, so each distinct
-// program variant is interpreted once and replayed everywhere else —
-// including across the internal/parallel worker pool, where the first
-// worker to need a stream records it and the rest block on that recording
-// rather than repeating it.
+// program variant is interpreted once and replayed everywhere else. The
+// store is a flight.Memo, so the dedup holds across goroutines too: when
+// several workers — sweep cells on the internal/parallel pool, or
+// concurrent selcached requests sharing a stream class — need the same
+// stream at once, exactly one records it and the rest block on that
+// in-flight recording rather than repeating it.
 //
 // Streams are retained for the cache's lifetime (a full Table 3 keeps all
 // 39 streams, tens of megabytes — noise next to the simulation itself).
@@ -89,39 +91,37 @@ type TraceCacheStats struct {
 type TraceCache struct {
 	dir string
 
-	mu      sync.Mutex
-	entries map[traceKey]*traceEntry
+	memo flight.Memo[traceKey, *trace.Trace]
 
-	hits, misses, diskLoads, diskErrors, bytes atomic.Uint64
+	hits, misses, waits, diskLoads, diskErrors, bytes atomic.Uint64
 }
 
 // NewTraceCache returns an empty cache. dir, when non-empty, enables
 // .sctrace persistence (the directory is created on first use).
 func NewTraceCache(dir string) *TraceCache {
-	return &TraceCache{dir: dir, entries: make(map[traceKey]*traceEntry)}
+	return &TraceCache{dir: dir}
 }
 
 // Get returns the event stream version v of workload w emits under o,
-// recording (or loading) it on first use.
+// recording (or loading) it on first use. Concurrent calls for the same
+// stream collapse to one recording.
 func (tc *TraceCache) Get(w workloads.Workload, v core.Version, o core.Options) *trace.Trace {
 	key := keyFor(w, v, o)
-	tc.mu.Lock()
-	e, ok := tc.entries[key]
-	if !ok {
-		e = &traceEntry{}
-		tc.entries[key] = e
-	}
-	tc.mu.Unlock()
-	if ok {
-		tc.hits.Add(1)
-	} else {
-		tc.misses.Add(1)
-	}
-	e.once.Do(func() {
-		e.tr = tc.fill(key, w, o)
-		tc.bytes.Add(uint64(e.tr.EncodedSize()))
+	t, outcome := tc.memo.Get(key, func() *trace.Trace {
+		tr := tc.fill(key, w, o)
+		tc.bytes.Add(uint64(tr.EncodedSize()))
+		return tr
 	})
-	return e.tr
+	switch outcome {
+	case flight.Computed:
+		tc.misses.Add(1)
+	case flight.Waited:
+		tc.hits.Add(1)
+		tc.waits.Add(1)
+	default:
+		tc.hits.Add(1)
+	}
+	return t
 }
 
 // canonical maps a stream class to the version whose Prepare recipe
@@ -161,15 +161,13 @@ func (tc *TraceCache) fill(key traceKey, w workloads.Workload, o core.Options) *
 
 // Stats snapshots the cache counters.
 func (tc *TraceCache) Stats() TraceCacheStats {
-	tc.mu.Lock()
-	streams := uint64(len(tc.entries))
-	tc.mu.Unlock()
 	return TraceCacheStats{
 		Hits:       tc.hits.Load(),
 		Misses:     tc.misses.Load(),
+		Waits:      tc.waits.Load(),
 		DiskLoads:  tc.diskLoads.Load(),
 		DiskErrors: tc.diskErrors.Load(),
-		Streams:    streams,
+		Streams:    uint64(tc.memo.Len()),
 		Bytes:      tc.bytes.Load(),
 	}
 }

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+
+	"sync"
+	"testing"
+
+	"selcache/internal/core"
+	"selcache/internal/workloads"
+)
+
+// tinyWorkload returns the reduced swim variant: a real program through
+// the full pipeline, small enough to record in milliseconds.
+func tinyWorkload(t *testing.T) workloads.Workload {
+	t.Helper()
+	for _, w := range workloads.TinyGolden() {
+		if w.Name == "tiny-swim" {
+			return w
+		}
+	}
+	t.Fatal("tiny-swim missing from TinyGolden")
+	return workloads.Workload{}
+}
+
+// TestTraceCachePersistRoundTrip records through a persisted cache, then
+// verifies a fresh cache over the same directory loads from disk instead
+// of re-recording.
+func TestTraceCachePersistRoundTrip(t *testing.T) {
+	w := tinyWorkload(t)
+	o := core.DefaultOptions()
+	dir := t.TempDir()
+
+	tc := NewTraceCache(dir)
+	tr := tc.Get(w, core.Base, o)
+	if tr == nil {
+		t.Fatal("Get returned nil trace")
+	}
+	st := tc.Stats()
+	if st.Misses != 1 || st.DiskLoads != 0 || st.DiskErrors != 0 {
+		t.Fatalf("first run stats = %+v, want 1 miss, no disk activity", st)
+	}
+
+	tc2 := NewTraceCache(dir)
+	tr2 := tc2.Get(w, core.Base, o)
+	st2 := tc2.Stats()
+	if st2.DiskLoads != 1 || st2.DiskErrors != 0 {
+		t.Fatalf("second cache stats = %+v, want 1 disk load", st2)
+	}
+	if tr.EncodedSize() != tr2.EncodedSize() {
+		t.Fatalf("disk-loaded trace size %d != recorded %d", tr2.EncodedSize(), tr.EncodedSize())
+	}
+}
+
+// TestTraceCacheCorruptFile covers the degraded-persistence path: a
+// corrupt .sctrace file must count as a disk error and fall back to a
+// fresh recording, not poison the run.
+func TestTraceCacheCorruptFile(t *testing.T) {
+	w := tinyWorkload(t)
+	o := core.DefaultOptions()
+	dir := t.TempDir()
+
+	// Seed the directory, then corrupt every persisted trace.
+	NewTraceCache(dir).Get(w, core.Base, o)
+	files, err := filepath.Glob(filepath.Join(dir, "*.sctrace"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no persisted traces (err=%v)", err)
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("not a trace"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tc := NewTraceCache(dir)
+	tr := tc.Get(w, core.Base, o)
+	if tr == nil {
+		t.Fatal("Get returned nil trace after corruption")
+	}
+	st := tc.Stats()
+	if st.DiskErrors == 0 {
+		t.Fatalf("stats = %+v, want DiskErrors > 0 for corrupt file", st)
+	}
+	if st.DiskLoads != 0 {
+		t.Fatalf("stats = %+v, corrupt file must not count as a load", st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("stats = %+v, want the recording fallback to count as one miss", st)
+	}
+}
+
+// TestTraceCacheUnwritableDir covers the save-side error: persistence
+// into a path that is actually a file degrades to in-memory operation
+// with a disk-error count, never a failure.
+func TestTraceCacheUnwritableDir(t *testing.T) {
+	w := tinyWorkload(t)
+	o := core.DefaultOptions()
+	notDir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tc := NewTraceCache(notDir)
+	if tr := tc.Get(w, core.Base, o); tr == nil {
+		t.Fatal("Get returned nil trace")
+	}
+	if st := tc.Stats(); st.DiskErrors == 0 {
+		t.Fatalf("stats = %+v, want DiskErrors > 0 for unwritable dir", st)
+	}
+}
+
+// TestTraceCacheConcurrentGet proves the in-flight dedup: many goroutines
+// asking for the same stream at once trigger exactly one recording, and
+// every waiter still counts as a hit.
+func TestTraceCacheConcurrentGet(t *testing.T) {
+	w := tinyWorkload(t)
+	o := core.DefaultOptions()
+	tc := NewTraceCache("")
+
+	const callers = 12
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	sizes := make([]int, callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			sizes[i] = tc.Get(w, core.Base, o).EncodedSize()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	st := tc.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("stats = %+v, want exactly one recording for %d concurrent Gets", st, callers)
+	}
+	if st.Hits != callers-1 {
+		t.Fatalf("stats = %+v, want %d hits", st, callers-1)
+	}
+	if st.Streams != 1 {
+		t.Fatalf("stats = %+v, want one stream", st)
+	}
+	for i := 1; i < callers; i++ {
+		if sizes[i] != sizes[0] {
+			t.Fatalf("caller %d saw a different trace (size %d != %d)", i, sizes[i], sizes[0])
+		}
+	}
+}

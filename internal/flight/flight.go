@@ -1,0 +1,127 @@
+// Package flight provides in-flight call deduplication: when several
+// goroutines ask for the same key at once, one of them computes the value
+// and the rest block until it is ready. Two shapes are offered. Group is
+// the classic singleflight — the key is forgotten as soon as the call
+// completes, so a later request recomputes (the caller owns any caching).
+// Memo additionally retains every computed value for its lifetime, which
+// is what a record-once/replay-forever store like experiments.TraceCache
+// needs.
+//
+// Both are safe for concurrent use and allocation-light: a waiter costs
+// one channel receive, a leader one map insert.
+package flight
+
+import "sync"
+
+// Outcome says how a Memo.Get (or Group.Do) call was satisfied.
+type Outcome int
+
+const (
+	// Computed means this caller was the leader: it ran fn itself.
+	Computed Outcome = iota
+	// Waited means another caller was already computing the value and
+	// this one blocked until that computation finished.
+	Waited
+	// Cached means the value had been computed before the call started
+	// (Memo only; a Group forgets values, so it never reports Cached).
+	Cached
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Computed:
+		return "computed"
+	case Waited:
+		return "waited"
+	case Cached:
+		return "cached"
+	default:
+		return "unknown"
+	}
+}
+
+// call is one in-flight or completed computation.
+type call[V any] struct {
+	done chan struct{} // closed when val is ready
+	val  V
+}
+
+// Group deduplicates concurrent calls sharing a key. Completed keys are
+// forgotten immediately: Do only collapses calls whose executions overlap
+// in time. The zero value is ready to use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// Do runs fn once per overlapping set of callers with the same key and
+// hands every caller the same value. fn runs on the leader's goroutine;
+// a panic in fn propagates to the leader and leaves the waiters blocked
+// on a value that never arrives, so fn must not panic (the simulation
+// entry points it guards capture panics themselves).
+func (g *Group[K, V]) Do(key K, fn func() V) (V, Outcome) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, Waited
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val = fn()
+	close(c.done)
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	return c.val, Computed
+}
+
+// Memo is a Group that never forgets: the first call for a key computes
+// the value, concurrent duplicates wait for it, and every later call gets
+// the retained value without blocking. The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// Get returns the memoized value for key, computing it with fn on first
+// use. The Outcome distinguishes the leader (Computed), callers that
+// overlapped the leader (Waited), and callers that arrived after the
+// value was ready (Cached).
+func (m *Memo[K, V]) Get(key K, fn func() V) (V, Outcome) {
+	m.mu.Lock()
+	if m.calls == nil {
+		m.calls = make(map[K]*call[V])
+	}
+	if c, ok := m.calls[key]; ok {
+		m.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, Cached
+		default:
+		}
+		<-c.done
+		return c.val, Waited
+	}
+	c := &call[V]{done: make(chan struct{})}
+	m.calls[key] = c
+	m.mu.Unlock()
+
+	c.val = fn()
+	close(c.done)
+	return c.val, Computed
+}
+
+// Len reports the number of keys held (completed or in flight).
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.calls)
+}

@@ -127,3 +127,60 @@ func ForEach(workers, n int, fn func(int)) {
 		return struct{}{}
 	})
 }
+
+// Pool is the long-lived counterpart of Map for server-style workloads: a
+// semaphore-bounded executor that admits tasks as capacity frees up
+// instead of fanning out one fixed batch. Map stays the right tool for
+// the batch drivers; selcached uses a Pool so concurrent HTTP requests
+// share one bounded set of simulation slots, admission can respect a
+// per-request deadline, and shutdown can drain in-flight work.
+type Pool struct {
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+}
+
+// NewPool returns a pool admitting at most Workers(workers) concurrent
+// tasks.
+func NewPool(workers int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Size reports the pool's concurrency bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// InFlight reports the number of tasks currently admitted (waiting tasks
+// are not counted).
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Do runs fn on the calling goroutine once a slot is free. If done is
+// closed first — a request deadline expiring while the pool is saturated
+// — Do gives up without running fn and reports false. A nil done waits
+// indefinitely. Panics in fn propagate to the caller after the slot is
+// released.
+func (p *Pool) Do(done <-chan struct{}, fn func()) bool {
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		// Saturated: block on either a slot or cancellation.
+		select {
+		case p.sem <- struct{}{}:
+		case <-done:
+			return false
+		}
+	}
+	p.wg.Add(1)
+	p.inFlight.Add(1)
+	defer func() {
+		p.inFlight.Add(-1)
+		p.wg.Done()
+		<-p.sem
+	}()
+	fn()
+	return true
+}
+
+// Wait blocks until every admitted task has finished. It does not close
+// the pool — selcached calls it during graceful drain, after the HTTP
+// listener has stopped accepting work.
+func (p *Pool) Wait() { p.wg.Wait() }

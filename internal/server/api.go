@@ -1,0 +1,221 @@
+// api.go defines the wire types of the selcached JSON API and the
+// canonicalization that turns a request into a content-addressed cache
+// key. docs/SERVICE.md is the operator-facing reference for everything
+// here; keep the two in sync.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"selcache/internal/core"
+	"selcache/internal/experiments"
+	"selcache/internal/sim"
+	"selcache/internal/workloads"
+)
+
+// RunRequest is the body of POST /v1/run: one benchmark through all five
+// simulated versions under one machine configuration and mechanism.
+type RunRequest struct {
+	// Workload is the benchmark name (GET /v1/workloads lists them).
+	Workload string `json:"workload"`
+	// Config is a machine-configuration name (default "base").
+	Config string `json:"config,omitempty"`
+	// Mechanism is "bypass" or "victim" (default "bypass").
+	Mechanism string `json:"mechanism,omitempty"`
+	// Classify enables conflict/capacity/compulsory miss attribution.
+	Classify bool `json:"classify,omitempty"`
+	// UpdateWhenOff keeps MAT/SLDT learning while the mechanism is off
+	// (the ablation knob).
+	UpdateWhenOff bool `json:"update_when_off,omitempty"`
+	// Version optionally restricts the response to one version. It does
+	// not enter the cache key: the simulation always produces the full
+	// row, and the filter applies at render time.
+	Version string `json:"version,omitempty"`
+	// TimeoutMillis bounds this request; 0 means the server default.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a Table-2/3-shaped matrix
+// of (config × mechanism × workload) cells. Empty lists mean "all".
+type SweepRequest struct {
+	Workloads     []string `json:"workloads,omitempty"`
+	Configs       []string `json:"configs,omitempty"`
+	Mechanisms    []string `json:"mechanisms,omitempty"`
+	Classify      bool     `json:"classify,omitempty"`
+	UpdateWhenOff bool     `json:"update_when_off,omitempty"`
+	TimeoutMillis int64    `json:"timeout_ms,omitempty"`
+}
+
+// cellSpec is the canonical, fully-resolved identity of one simulation
+// cell (a RunRequest with defaults applied and the render-only fields
+// stripped). Its deterministic JSON encoding is what gets hashed into
+// the content-addressed result key, so field order and types here ARE
+// the cache-key format: changing them invalidates every persisted
+// result, exactly like changing the trace codec invalidates .sctrace
+// files.
+type cellSpec struct {
+	Workload      string `json:"workload"`
+	Config        string `json:"config"`
+	Mechanism     string `json:"mechanism"`
+	Classify      bool   `json:"classify"`
+	UpdateWhenOff bool   `json:"update_when_off"`
+}
+
+// resolveSpec validates a RunRequest's identity fields against the known
+// workloads, configurations and mechanisms and returns the canonical
+// spec plus the simulation options it denotes.
+func resolveSpec(req RunRequest) (cellSpec, core.Options, error) {
+	spec := cellSpec{
+		Workload:      req.Workload,
+		Config:        req.Config,
+		Mechanism:     req.Mechanism,
+		Classify:      req.Classify,
+		UpdateWhenOff: req.UpdateWhenOff,
+	}
+	if spec.Config == "" {
+		spec.Config = "base"
+	}
+	if spec.Mechanism == "" {
+		spec.Mechanism = "bypass"
+	}
+	if _, ok := workloads.ByName(spec.Workload); !ok {
+		return cellSpec{}, core.Options{}, fmt.Errorf("unknown workload %q", spec.Workload)
+	}
+	cfg, ok := configByName(spec.Config)
+	if !ok {
+		return cellSpec{}, core.Options{}, fmt.Errorf("unknown config %q", spec.Config)
+	}
+	o := core.DefaultOptions()
+	o.Machine = cfg
+	o.Classify = spec.Classify
+	o.UpdateWhenOff = spec.UpdateWhenOff
+	switch spec.Mechanism {
+	case "bypass":
+		o.Mechanism = sim.HWBypass
+	case "victim":
+		o.Mechanism = sim.HWVictim
+	default:
+		return cellSpec{}, core.Options{}, fmt.Errorf("unknown mechanism %q", spec.Mechanism)
+	}
+	return spec, o, nil
+}
+
+// key returns the content address of the cell: the SHA-256 of the spec's
+// canonical JSON encoding, in hex.
+func (s cellSpec) key() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("server: marshaling cellSpec: %v", err)) // fixed struct; cannot fail
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func configByName(name string) (sim.Config, bool) {
+	for _, c := range sim.ExperimentConfigs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return sim.Config{}, false
+}
+
+// VersionResult is one simulated version's share of a run response.
+type VersionResult struct {
+	Version string `json:"version"`
+	Cycles  uint64 `json:"cycles"`
+	// ImprovementPct is the percentage cycle reduction versus base.
+	ImprovementPct float64 `json:"improvement_pct"`
+	// Stats is the full simulator statistics block, with the
+	// nondeterministic WallNanos field zeroed so identical requests
+	// produce byte-identical responses.
+	Stats sim.RunStats `json:"stats"`
+}
+
+// RunResponse is the body of a successful POST /v1/run and of
+// GET /v1/results/{key}.
+type RunResponse struct {
+	Key       string          `json:"key"`
+	Workload  string          `json:"workload"`
+	Class     string          `json:"class"`
+	Config    string          `json:"config"`
+	Mechanism string          `json:"mechanism"`
+	Versions  []VersionResult `json:"versions"`
+}
+
+// SweepResult is one (config, mechanism) slice of a sweep response.
+type SweepResult struct {
+	Config    string        `json:"config"`
+	Mechanism string        `json:"mechanism"`
+	Rows      []RunResponse `json:"rows"`
+	// AvgImprovementPct maps version name to the arithmetic-mean
+	// improvement across the sweep's workloads; ClassAvgImprovementPct
+	// splits it by benchmark class (classes with no workloads in the
+	// sweep are omitted).
+	AvgImprovementPct      map[string]float64            `json:"avg_improvement_pct"`
+	ClassAvgImprovementPct map[string]map[string]float64 `json:"class_avg_improvement_pct"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep.
+type SweepResponse struct {
+	Sweeps []SweepResult `json:"sweeps"`
+}
+
+// WorkloadInfo is one entry of GET /v1/workloads.
+type WorkloadInfo struct {
+	Name   string `json:"name"`
+	Class  string `json:"class"`
+	Models string `json:"models"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// storedResult is the cached value behind a key: the resolved spec plus
+// the executed row. It is also the on-disk persistence format
+// (<key>.json under -cachedir).
+type storedResult struct {
+	Spec cellSpec        `json:"spec"`
+	Row  experiments.Row `json:"row"`
+}
+
+// response renders the stored result as the wire shape, optionally
+// filtered to a single version (empty: all five). The row's WallNanos
+// are zeroed by the executor before caching, so rendering is
+// deterministic.
+func (sr storedResult) response(version string) RunResponse {
+	resp := RunResponse{
+		Key:       sr.Spec.key(),
+		Workload:  sr.Spec.Workload,
+		Class:     sr.Row.Class.String(),
+		Config:    sr.Spec.Config,
+		Mechanism: sr.Spec.Mechanism,
+	}
+	for _, v := range core.Versions() {
+		if version != "" && v.String() != version {
+			continue
+		}
+		resp.Versions = append(resp.Versions, VersionResult{
+			Version:        v.String(),
+			Cycles:         sr.Row.Cycles[v],
+			ImprovementPct: sr.Row.Improv[v],
+			Stats:          sr.Row.Stats[v],
+		})
+	}
+	return resp
+}
+
+// versionKnown reports whether sel names a simulated version.
+func versionKnown(sel string) bool {
+	for _, v := range core.Versions() {
+		if sel == v.String() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent run latencies the percentile estimator
+// keeps. Quantiles are computed over this sliding window, so they track
+// current behavior instead of averaging over the server's whole life.
+const latencyWindow = 1024
+
+// metrics aggregates everything GET /metrics reports that is not owned
+// by another component (the result and trace caches snapshot themselves).
+type metrics struct {
+	start time.Time
+
+	mu sync.Mutex
+	// requests counts handled HTTP requests per endpoint name.
+	requests map[string]uint64
+	// runsStarted/runsCompleted count underlying simulation executions
+	// (deduplicated and cached requests do not start runs); runsDeduped
+	// counts requests that piggybacked on an in-flight identical run.
+	runsStarted, runsCompleted, runsDeduped uint64
+	// events is the total simulated instruction count across completed
+	// runs and runNanos the total wall time they took, for the
+	// aggregate events-per-second figure.
+	events   uint64
+	runNanos int64
+	// window is a ring of the most recent run latencies.
+	window [latencyWindow]time.Duration
+	count  uint64 // total latencies ever recorded
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), requests: make(map[string]uint64)}
+}
+
+// request counts one handled request against an endpoint.
+func (m *metrics) request(endpoint string) {
+	m.mu.Lock()
+	m.requests[endpoint]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) runStarted() {
+	m.mu.Lock()
+	m.runsStarted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) runDeduped() {
+	m.mu.Lock()
+	m.runsDeduped++
+	m.mu.Unlock()
+}
+
+// runCompleted records one finished simulation run: its wall time and
+// how many simulated events it processed.
+func (m *metrics) runCompleted(d time.Duration, events uint64) {
+	m.mu.Lock()
+	m.runsCompleted++
+	m.events += events
+	m.runNanos += int64(d)
+	m.window[m.count%latencyWindow] = d
+	m.count++
+	m.mu.Unlock()
+}
+
+// RunMetrics is the simulation-execution section of a metrics snapshot.
+type RunMetrics struct {
+	Started   uint64 `json:"started"`
+	Completed uint64 `json:"completed"`
+	InFlight  int64  `json:"in_flight"`
+	Deduped   uint64 `json:"deduped"`
+	// Events is total simulated instructions across completed runs;
+	// EventsPerSec divides it by the total run wall time.
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	P50Millis    float64 `json:"latency_p50_ms"`
+	P99Millis    float64 `json:"latency_p99_ms"`
+}
+
+// snapshotRuns computes the run section. inFlight comes from the pool,
+// which owns that gauge.
+func (m *metrics) snapshotRuns(inFlight int64) RunMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := RunMetrics{
+		Started:   m.runsStarted,
+		Completed: m.runsCompleted,
+		InFlight:  inFlight,
+		Deduped:   m.runsDeduped,
+		Events:    m.events,
+	}
+	if m.runNanos > 0 {
+		rm.EventsPerSec = float64(m.events) / (float64(m.runNanos) * 1e-9)
+	}
+	n := m.count
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n > 0 {
+		lat := make([]time.Duration, n)
+		copy(lat, m.window[:n])
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		rm.P50Millis = quantile(lat, 0.50)
+		rm.P99Millis = quantile(lat, 0.99)
+	}
+	return rm
+}
+
+// quantile returns the q-th quantile of sorted latencies in milliseconds
+// (nearest-rank).
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// snapshotRequests copies the per-endpoint counters.
+func (m *metrics) snapshotRequests() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.requests))
+	for k, v := range m.requests {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ResultCacheStats snapshots the result cache counters for /metrics.
+type ResultCacheStats struct {
+	// Hits counts lookups served from memory or disk; Misses those that
+	// had to execute a simulation.
+	Hits, Misses uint64
+	// Entries is the current in-memory entry count, Evictions the
+	// lifetime number of LRU evictions (evicted entries remain readable
+	// from disk when persistence is on).
+	Entries, Evictions uint64
+	// DiskLoads counts hits served by reading a persisted result back
+	// from -cachedir; DiskErrors counts failed reads or writes of valid
+	// work (a corrupt file is treated as a miss).
+	DiskLoads, DiskErrors uint64
+}
+
+// resultCache is the content-addressed result store: an in-memory LRU of
+// executed rows keyed by the cellSpec digest, optionally backed by a
+// persistence directory holding one <key>.json per result. The LRU bounds
+// memory on long-lived servers (a full Table 3 is only 156 cells, but an
+// adversarial request stream is unbounded); the disk tier survives
+// restarts and LRU evictions alike.
+type resultCache struct {
+	dir string
+	cap int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	stats ResultCacheStats
+}
+
+// lruEntry is what an LRU element holds.
+type lruEntry struct {
+	key string
+	val storedResult
+}
+
+// newResultCache returns a cache holding at most capacity entries in
+// memory (minimum 1). dir, when non-empty, enables <key>.json
+// persistence; the directory is created on first write.
+func newResultCache(capacity int, dir string) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		dir:   dir,
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// keyPattern guards the disk path: keys are 64 hex characters, so a
+// crafted /v1/results/{key} can never escape the cache directory.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *resultCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// get returns the stored result for key, consulting memory first and the
+// persistence directory second. A disk hit is promoted into memory.
+func (c *resultCache) get(key string) (storedResult, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		sr := el.Value.(*lruEntry).val
+		c.mu.Unlock()
+		return sr, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" && validKey(key) {
+		if sr, err := c.load(key); err == nil {
+			c.mu.Lock()
+			c.stats.Hits++
+			c.stats.DiskLoads++
+			c.insertLocked(key, sr)
+			c.mu.Unlock()
+			return sr, true
+		} else if !os.IsNotExist(err) {
+			c.mu.Lock()
+			c.stats.DiskErrors++
+			c.mu.Unlock()
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return storedResult{}, false
+}
+
+// load reads and validates one persisted result. The stored spec must
+// hash back to the requested key — a truncated or hand-edited file is an
+// error, not a wrong answer.
+func (c *resultCache) load(key string) (storedResult, error) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return storedResult{}, err
+	}
+	var sr storedResult
+	if err := json.Unmarshal(b, &sr); err != nil {
+		return storedResult{}, fmt.Errorf("decoding %s: %w", c.path(key), err)
+	}
+	if sr.Spec.key() != key {
+		return storedResult{}, fmt.Errorf("%s: stored spec does not hash to its key", c.path(key))
+	}
+	return sr, nil
+}
+
+// put stores an executed result in memory (evicting the LRU tail past
+// capacity) and, with persistence on, writes it to disk via an atomic
+// rename so a crashed server never leaves a torn file.
+func (c *resultCache) put(key string, sr storedResult) {
+	c.mu.Lock()
+	c.insertLocked(key, sr)
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return
+	}
+	if err := c.persist(key, sr); err != nil {
+		c.mu.Lock()
+		c.stats.DiskErrors++
+		c.mu.Unlock()
+	}
+}
+
+func (c *resultCache) insertLocked(key string, sr storedResult) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = sr
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: sr})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*lruEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+func (c *resultCache) persist(key string, sr storedResult) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(sr)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// snapshot returns the current counters.
+func (c *resultCache) snapshot() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = uint64(c.ll.Len())
+	return s
+}
+
+// describe summarizes the cache configuration for startup logging.
+func (c *resultCache) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-entry LRU", c.cap)
+	if c.dir != "" {
+		fmt.Fprintf(&b, ", persisted in %s", c.dir)
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"selcache/internal/experiments"
+)
+
+// specN returns a distinct valid spec (unknown workloads are fine here:
+// the cache layer never resolves them).
+func specN(n string) cellSpec {
+	return cellSpec{Workload: n, Config: "base", Mechanism: "bypass"}
+}
+
+func storedN(n string) storedResult {
+	return storedResult{Spec: specN(n), Row: experiments.Row{Benchmark: n}}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, "")
+	for _, n := range []string{"a", "b", "c"} {
+		c.put(specN(n).key(), storedN(n))
+	}
+	// "a" is the LRU victim.
+	if _, ok := c.get(specN("a").key()); ok {
+		t.Fatal("evicted entry still present")
+	}
+	for _, n := range []string{"b", "c"} {
+		if _, ok := c.get(specN(n).key()); !ok {
+			t.Fatalf("entry %q missing", n)
+		}
+	}
+	st := c.snapshot()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("snapshot = %+v, want 1 eviction, 2 entries", st)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("snapshot = %+v, want 2 hits, 1 miss", st)
+	}
+
+	// Touching "b" then inserting "d" must evict "c", not "b".
+	c.get(specN("b").key())
+	c.put(specN("d").key(), storedN("d"))
+	if _, ok := c.get(specN("b").key()); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := c.get(specN("c").key()); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestResultCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := specN("swim").key()
+
+	c := newResultCache(4, dir)
+	c.put(key, storedN("swim"))
+
+	// A fresh cache over the same directory serves the persisted result
+	// and promotes it into memory.
+	c2 := newResultCache(4, dir)
+	sr, ok := c2.get(key)
+	if !ok {
+		t.Fatal("persisted result not found")
+	}
+	if sr.Row.Benchmark != "swim" {
+		t.Fatalf("round-tripped benchmark %q", sr.Row.Benchmark)
+	}
+	st := c2.snapshot()
+	if st.DiskLoads != 1 || st.Hits != 1 {
+		t.Fatalf("snapshot = %+v, want 1 disk load counted as a hit", st)
+	}
+	// Second get comes from memory.
+	if _, ok := c2.get(key); !ok {
+		t.Fatal("promoted result missing")
+	}
+	if st := c2.snapshot(); st.DiskLoads != 1 {
+		t.Fatalf("snapshot = %+v, memory hit must not touch disk", st)
+	}
+}
+
+func TestResultCacheCorruptDiskFile(t *testing.T) {
+	dir := t.TempDir()
+	key := specN("swim").key()
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := newResultCache(4, dir)
+	if _, ok := c.get(key); ok {
+		t.Fatal("corrupt file served as a result")
+	}
+	st := c.snapshot()
+	if st.DiskErrors != 1 || st.Misses != 1 {
+		t.Fatalf("snapshot = %+v, want 1 disk error and 1 miss", st)
+	}
+}
+
+func TestResultCacheRejectsMismatchedStoredSpec(t *testing.T) {
+	dir := t.TempDir()
+	key := specN("swim").key()
+	// A syntactically valid file whose spec hashes to a different key
+	// (e.g. copied between directories by hand) must not be served.
+	c := newResultCache(4, dir)
+	c.put(specN("applu").key(), storedN("applu"))
+	src, _ := os.ReadFile(filepath.Join(dir, specN("applu").key()+".json"))
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.get(key); ok {
+		t.Fatal("mismatched stored spec served as a result")
+	}
+	if st := c.snapshot(); st.DiskErrors != 1 {
+		t.Fatalf("snapshot = %+v, want 1 disk error", st)
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	good := specN("x").key()
+	if !validKey(good) {
+		t.Fatalf("validKey(%q) = false", good)
+	}
+	for _, bad := range []string{"", "short", good[:63], good + "0", "../../../../etc/passwd", good[:60] + "ZZZZ"} {
+		if validKey(bad) {
+			t.Errorf("validKey(%q) = true", bad)
+		}
+	}
+}

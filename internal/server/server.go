@@ -1,0 +1,443 @@
+// Package server implements selcached, the simulation-as-a-service layer
+// over the reproduction's experiment engine. It exposes a small JSON API
+// (docs/SERVICE.md) for running single cells and Table-2/3-shaped sweeps,
+// backed by three reuse tiers: the content-addressed result cache
+// (identical requests are cache hits), a flight.Group collapsing
+// concurrent identical requests onto one in-flight simulation, and the
+// shared experiments.TraceCache (distinct requests that share a stream
+// class still skip the interpreter). Simulations execute on a bounded
+// parallel.Pool; requests carry deadlines, and a timed-out request
+// abandons only the wait — the run completes in the background and fills
+// the cache for the retry.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"selcache/internal/core"
+	"selcache/internal/experiments"
+	"selcache/internal/flight"
+	"selcache/internal/parallel"
+	"selcache/internal/sim"
+	"selcache/internal/workloads"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate body (a
+// fully-enumerated sweep) is a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrent simulations (0: one per CPU).
+	Workers int
+	// TraceDir enables .sctrace persistence for the trace cache.
+	TraceDir string
+	// CacheDir enables result persistence (<key>.json files).
+	CacheDir string
+	// CacheEntries is the in-memory result LRU capacity (0: 4096).
+	CacheEntries int
+	// DefaultTimeout bounds requests that do not set timeout_ms
+	// (0: no deadline).
+	DefaultTimeout time.Duration
+	// Log receives startup and per-error lines (nil: discarded).
+	Log io.Writer
+}
+
+// Server is the selcached engine: an http.Handler plus the caches and
+// pool behind it. Create one with New; it has no Close — stop the HTTP
+// listener first, then call Drain to wait for background work.
+type Server struct {
+	cfg     Config
+	pool    *parallel.Pool
+	traces  *experiments.TraceCache
+	results *resultCache
+	group   flight.Group[string, storedResult]
+	metrics *metrics
+	mux     *http.ServeMux
+	bg      sync.WaitGroup
+
+	// runRow executes one cell; tests substitute slow or counting stand-ins.
+	runRow func(w workloads.Workload, o core.Options, tc *experiments.TraceCache) experiments.Row
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    parallel.NewPool(cfg.Workers),
+		traces:  experiments.NewTraceCache(cfg.TraceDir),
+		results: newResultCache(cfg.CacheEntries, cfg.CacheDir),
+		metrics: newMetrics(),
+		runRow:  experiments.RunRow,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain blocks until every simulation admitted so far — including
+// background fills whose requester timed out — has completed and written
+// its result to the cache. Call it after the HTTP listener has stopped.
+func (s *Server) Drain() { s.bg.Wait() }
+
+// Describe summarizes the server configuration for startup logging.
+func (s *Server) Describe() string {
+	d := "none"
+	if s.cfg.DefaultTimeout > 0 {
+		d = s.cfg.DefaultTimeout.String()
+	}
+	return fmt.Sprintf("%d simulation workers, result cache %s, default timeout %s",
+		s.pool.Size(), s.results.describe(), d)
+}
+
+// errDeadline marks a request that expired before its result was ready.
+var errDeadline = errors.New("deadline exceeded waiting for simulation")
+
+// execute returns the stored result for spec, through the three reuse
+// tiers: result cache, in-flight dedup, fresh run on the pool. The
+// cacheHit return distinguishes tier one (served without simulating or
+// waiting on a simulation) for the X-Selcache header.
+func (s *Server) execute(ctx context.Context, spec cellSpec, o core.Options) (storedResult, bool, error) {
+	key := spec.key()
+	if sr, ok := s.results.get(key); ok {
+		return sr, true, nil
+	}
+
+	type outcome struct {
+		sr     storedResult
+		shared flight.Outcome
+	}
+	ch := make(chan outcome, 1)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		sr, how := s.group.Do(key, func() storedResult {
+			w, _ := workloads.ByName(spec.Workload)
+			s.metrics.runStarted()
+			var row experiments.Row
+			start := time.Now()
+			s.pool.Do(nil, func() {
+				row = s.runRow(w, o, s.traces)
+			})
+			elapsed := time.Since(start)
+			var events uint64
+			for v := range row.Stats {
+				// Zero the one nondeterministic field so identical
+				// requests yield byte-identical cached results.
+				row.Stats[v].WallNanos = 0
+				events += row.Stats[v].Instructions
+			}
+			s.metrics.runCompleted(elapsed, events)
+			sr := storedResult{Spec: spec, Row: row}
+			s.results.put(key, sr)
+			return sr
+		})
+		ch <- outcome{sr: sr, shared: how}
+	}()
+
+	select {
+	case out := <-ch:
+		if out.shared == flight.Waited {
+			s.metrics.runDeduped()
+		}
+		return out.sr, false, nil
+	case <-ctx.Done():
+		return storedResult{}, false, errDeadline
+	}
+}
+
+// requestContext derives the deadline context for a request: timeout_ms
+// when set, the server default otherwise, none when both are zero.
+func (s *Server) requestContext(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMillis > 0 {
+		d = time.Duration(timeoutMillis) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("healthz")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// MetricsSnapshot is the body of GET /metrics: expvar-style counters for
+// every reuse tier plus run latency quantiles.
+type MetricsSnapshot struct {
+	UptimeSec   float64                     `json:"uptime_sec"`
+	Workers     int                         `json:"workers"`
+	Requests    map[string]uint64           `json:"requests"`
+	ResultCache ResultCacheStats            `json:"result_cache"`
+	TraceCache  experiments.TraceCacheStats `json:"trace_cache"`
+	Runs        RunMetrics                  `json:"runs"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("metrics")
+	snap := MetricsSnapshot{
+		UptimeSec:   time.Since(s.metrics.start).Seconds(),
+		Workers:     s.pool.Size(),
+		Requests:    s.metrics.snapshotRequests(),
+		ResultCache: s.results.snapshot(),
+		TraceCache:  s.traces.Stats(),
+		Runs:        s.metrics.snapshotRuns(s.pool.InFlight()),
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("workloads")
+	all := workloads.All()
+	out := make([]WorkloadInfo, 0, len(all))
+	for _, wl := range all {
+		out = append(out, WorkloadInfo{Name: wl.Name, Class: wl.Class.String(), Models: wl.Models})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("run")
+	var req RunRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, o, err := resolveSpec(req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Version != "" && !versionKnown(req.Version) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown version %q", req.Version))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+	sr, hit, err := s.execute(ctx, spec, o)
+	if err != nil {
+		s.fail(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	setCacheHeader(w, hit)
+	writeJSON(w, http.StatusOK, sr.response(req.Version))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("sweep")
+	var req SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	names := req.Workloads
+	if len(names) == 0 {
+		for _, wl := range workloads.All() {
+			names = append(names, wl.Name)
+		}
+	}
+	s.serveSweep(w, r, req, names)
+}
+
+// serveSweep resolves the request matrix, executes every cell through the
+// shared reuse tiers, and assembles per-(config, mechanism) sweeps with
+// the exact float-accumulation order of the batch drivers.
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, names []string) {
+	configs := req.Configs
+	if len(configs) == 0 {
+		for _, c := range experimentConfigNames() {
+			configs = append(configs, c)
+		}
+	}
+	mechs := req.Mechanisms
+	if len(mechs) == 0 {
+		mechs = []string{"bypass", "victim"}
+	}
+
+	// Resolve every cell up front so validation errors arrive before any
+	// simulation starts.
+	type sweepPlan struct {
+		spec0 cellSpec // config/mechanism identity (workload varies)
+		opts  core.Options
+		specs []cellSpec
+	}
+	var plans []sweepPlan
+	for _, cfg := range configs {
+		for _, mech := range mechs {
+			plan := sweepPlan{}
+			for _, name := range names {
+				spec, o, err := resolveSpec(RunRequest{
+					Workload:      name,
+					Config:        cfg,
+					Mechanism:     mech,
+					Classify:      req.Classify,
+					UpdateWhenOff: req.UpdateWhenOff,
+				})
+				if err != nil {
+					s.fail(w, http.StatusBadRequest, err)
+					return
+				}
+				plan.opts = o
+				plan.specs = append(plan.specs, spec)
+			}
+			if len(plan.specs) == 0 {
+				s.fail(w, http.StatusBadRequest, errors.New("empty workload list"))
+				return
+			}
+			plan.spec0 = plan.specs[0]
+			plans = append(plans, plan)
+		}
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+
+	// Fan every cell out at once; the pool bounds actual concurrency and
+	// the flight group collapses duplicates (a sweep listing the same
+	// workload twice costs one run).
+	type cellOut struct {
+		sr  storedResult
+		err error
+	}
+	results := make([][]cellOut, len(plans))
+	var wg sync.WaitGroup
+	for pi := range plans {
+		results[pi] = make([]cellOut, len(plans[pi].specs))
+		for ci := range plans[pi].specs {
+			wg.Add(1)
+			go func(pi, ci int) {
+				defer wg.Done()
+				sr, _, err := s.execute(ctx, plans[pi].specs[ci], plans[pi].opts)
+				results[pi][ci] = cellOut{sr: sr, err: err}
+			}(pi, ci)
+		}
+	}
+	wg.Wait()
+
+	resp := SweepResponse{}
+	for pi, plan := range plans {
+		rows := make([]experiments.Row, len(plan.specs))
+		sres := SweepResult{Config: plan.spec0.Config, Mechanism: plan.spec0.Mechanism}
+		for ci := range plan.specs {
+			out := results[pi][ci]
+			if out.err != nil {
+				s.fail(w, http.StatusGatewayTimeout, out.err)
+				return
+			}
+			rows[ci] = out.sr.Row
+			sres.Rows = append(sres.Rows, out.sr.response(""))
+		}
+		sw := experiments.Assemble(plan.opts, rows)
+		sres.AvgImprovementPct = make(map[string]float64, core.NumVersions)
+		for _, v := range core.Versions() {
+			sres.AvgImprovementPct[v.String()] = sw.Avg[v]
+		}
+		sres.ClassAvgImprovementPct = make(map[string]map[string]float64)
+		for c := 0; c < workloads.NumClasses; c++ {
+			if sw.ClassCount[c] == 0 {
+				continue
+			}
+			byV := make(map[string]float64, core.NumVersions)
+			for _, v := range core.Versions() {
+				byV[v.String()] = sw.ClassAvg[c][v]
+			}
+			sres.ClassAvgImprovementPct[workloads.Class(c).String()] = byV
+		}
+		resp.Sweeps = append(resp.Sweeps, sres)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request("results")
+	key := r.PathValue("key")
+	if !validKey(key) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("malformed result key %q (want 64 hex characters)", key))
+		return
+	}
+	sr, ok := s.results.get(key)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no result for key %s", key))
+		return
+	}
+	setCacheHeader(w, true)
+	writeJSON(w, http.StatusOK, sr.response(""))
+}
+
+// experimentConfigNames lists the machine-configuration names in Table 3
+// row order.
+func experimentConfigNames() []string {
+	var names []string
+	for _, c := range sim.ExperimentConfigs() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// fail writes a JSON error body and logs it.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	fmt.Fprintf(s.cfg.Log, "selcached: %d %v\n", status, err)
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body into dst.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("malformed request body: %w", err)
+	}
+	// A second document after the first is also malformed.
+	if dec.More() {
+		return errors.New("malformed request body: trailing data")
+	}
+	return nil
+}
+
+// setCacheHeader reports which reuse tier served the response.
+func setCacheHeader(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-Selcache", "hit")
+	} else {
+		w.Header().Set("X-Selcache", "miss")
+	}
+}
+
+// writeJSON marshals v once and writes it with a trailing newline; the
+// body bytes for a given v are deterministic, which the byte-identical
+// guarantee of docs/SERVICE.md relies on.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}

@@ -1,0 +1,41 @@
+#!/bin/sh
+# serve-smoke boots selcached on a random port, exercises /healthz and one
+# /v1/run through `selcached ctl`, then sends SIGTERM and asserts a clean
+# graceful drain. Exercises the built binary's full lifecycle the way the
+# in-process tests cannot.
+set -eu
+
+BIN=${1:?usage: serve-smoke.sh <selcached-binary>}
+LOG=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$BIN" -addr 127.0.0.1:0 -workers 2 2>"$LOG" &
+PID=$!
+
+# The daemon logs "selcached: listening on HOST:PORT (...)" once bound.
+ADDR=
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^selcached: listening on \([^ ]*\).*/\1/p' "$LOG")
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "serve-smoke: daemon died at boot" >&2; cat "$LOG" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve-smoke: daemon never bound" >&2; cat "$LOG" >&2; exit 1; }
+
+"$BIN" ctl -addr "http://$ADDR" health >/dev/null
+OUT=$("$BIN" ctl -addr "http://$ADDR" run -bench compress)
+case $OUT in
+*'"workload":'*) ;;
+*) echo "serve-smoke: unexpected /v1/run response: $OUT" >&2; exit 1 ;;
+esac
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "serve-smoke: daemon ignored SIGTERM" >&2; exit 1; }
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || { echo "serve-smoke: daemon exited non-zero" >&2; cat "$LOG" >&2; exit 1; }
+grep -q "drained, exiting" "$LOG" || { echo "serve-smoke: no drain marker in log" >&2; cat "$LOG" >&2; exit 1; }
+echo "serve-smoke: ok ($ADDR)"
