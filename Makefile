@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke fuzz-smoke serve-smoke tier1
+.PHONY: check vet build test race bench-smoke fuzz-smoke serve-smoke validate-smoke validate tier1
 
-check: vet build race bench-smoke serve-smoke fuzz-smoke
+check: vet build race bench-smoke serve-smoke validate-smoke fuzz-smoke
 
 # tier1 is the fast gate the roadmap requires of every change.
 tier1:
@@ -38,6 +38,15 @@ serve-smoke:
 	$(GO) build -o /tmp/selcached-smoke ./cmd/selcached
 	sh scripts/serve-smoke.sh /tmp/selcached-smoke
 	rm -f /tmp/selcached-smoke
+
+# Differential-oracle spot check: one workload per access-pattern class,
+# every version and both hardware mechanisms, engine vs naive reference in
+# lockstep (docs/VALIDATION.md). The full matrix is `make validate`.
+validate-smoke:
+	$(GO) run ./cmd/validate -short
+
+validate:
+	$(GO) run ./cmd/validate
 
 # 30 seconds of each fuzz target: enough to shake out codec and
 # marker-elimination regressions on fresh inputs without stalling the

@@ -14,7 +14,7 @@
 //
 // Client mode (selcachectl equivalent):
 //
-//	selcached ctl -addr http://127.0.0.1:8080 health
+//	selcached ctl -addr http://127.0.0.1:8080 -timeout 2m health
 //	selcached ctl run -bench swim -config base -mech bypass
 //	selcached ctl sweep -benches swim,compress -configs base
 //	selcached ctl result -key <sha256>
@@ -127,45 +127,74 @@ func runCtl(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("selcached ctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	timeout := fs.Duration("timeout", 2*time.Minute, "whole-request deadline (dial, headers and body; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return errors.New("ctl: missing action (health|metrics|workloads|run|sweep|result)")
 	}
+	if *timeout < 0 {
+		return fmt.Errorf("ctl: negative -timeout %v", *timeout)
+	}
 	action, rest := fs.Arg(0), fs.Args()[1:]
-	base := strings.TrimSuffix(*addr, "/")
+	c := &ctlClient{
+		base: strings.TrimSuffix(*addr, "/"),
+		// A bounded client, never http.DefaultClient: against a wedged or
+		// unreachable server the default's missing timeout blocks ctl
+		// forever. Timeout covers the whole exchange including the body,
+		// which is right for an API whose responses are small JSON.
+		hc:     &http.Client{Timeout: *timeout},
+		stdout: stdout,
+	}
 
 	switch action {
 	case "health":
-		return ctlGet(base+"/healthz", rest, stdout, stderr)
+		return c.get("/healthz", rest)
 	case "metrics":
-		return ctlGet(base+"/metrics", rest, stdout, stderr)
+		return c.get("/metrics", rest)
 	case "workloads":
-		return ctlGet(base+"/v1/workloads", rest, stdout, stderr)
+		return c.get("/v1/workloads", rest)
 	case "run":
-		return ctlRun(base, rest, stdout, stderr)
+		return ctlRun(c, rest, stderr)
 	case "sweep":
-		return ctlSweep(base, rest, stdout, stderr)
+		return ctlSweep(c, rest, stderr)
 	case "result":
-		return ctlResult(base, rest, stdout, stderr)
+		return ctlResult(c, rest, stderr)
 	default:
 		return fmt.Errorf("ctl: unknown action %q", action)
 	}
 }
 
-func ctlGet(url string, args []string, stdout, stderr io.Writer) error {
+// ctlClient is the bounded HTTP client all ctl actions share. Transport
+// errors are wrapped with the target address, so a misconfigured -addr is
+// visible in the message even when the underlying error elides it.
+type ctlClient struct {
+	base   string
+	hc     *http.Client
+	stdout io.Writer
+}
+
+func (c *ctlClient) get(path string, args []string) error {
 	if len(args) > 0 {
 		return fmt.Errorf("unexpected argument %q", args[0])
 	}
-	resp, err := http.Get(url)
+	resp, err := c.hc.Get(c.base + path)
 	if err != nil {
-		return err
+		return fmt.Errorf("ctl: %s: %w", c.base, err)
 	}
-	return ctlBody(resp, stdout)
+	return ctlBody(resp, c.stdout)
 }
 
-func ctlRun(base string, args []string, stdout, stderr io.Writer) error {
+func (c *ctlClient) post(path, body string) error {
+	resp, err := c.hc.Post(c.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("ctl: %s: %w", c.base, err)
+	}
+	return ctlBody(resp, c.stdout)
+}
+
+func ctlRun(c *ctlClient, args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("selcached ctl run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -187,10 +216,10 @@ func ctlRun(base string, args []string, stdout, stderr io.Writer) error {
 	}
 	body := fmt.Sprintf(`{"workload":%q,"config":%q,"mechanism":%q,"classify":%v,"version":%q,"timeout_ms":%d}`,
 		*bench, *config, *mech, *classify, *version, *timeout)
-	return ctlPost(base+"/v1/run", body, stdout)
+	return c.post("/v1/run", body)
 }
 
-func ctlSweep(base string, args []string, stdout, stderr io.Writer) error {
+func ctlSweep(c *ctlClient, args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("selcached ctl sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -207,10 +236,10 @@ func ctlSweep(base string, args []string, stdout, stderr io.Writer) error {
 	}
 	body := fmt.Sprintf(`{"workloads":%s,"configs":%s,"mechanisms":%s,"timeout_ms":%d}`,
 		jsonList(*benches), jsonList(*configs), jsonList(*mechs), *timeout)
-	return ctlPost(base+"/v1/sweep", body, stdout)
+	return c.post("/v1/sweep", body)
 }
 
-func ctlResult(base string, args []string, stdout, stderr io.Writer) error {
+func ctlResult(c *ctlClient, args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("selcached ctl result", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	key := fs.String("key", "", "content-addressed result key (required)")
@@ -223,11 +252,7 @@ func ctlResult(base string, args []string, stdout, stderr io.Writer) error {
 	if *key == "" {
 		return errors.New("ctl result: -key is required")
 	}
-	resp, err := http.Get(base + "/v1/results/" + *key)
-	if err != nil {
-		return err
-	}
-	return ctlBody(resp, stdout)
+	return c.get("/v1/results/"+*key, nil)
 }
 
 // jsonList renders a comma-separated flag value as a JSON string array
@@ -242,14 +267,6 @@ func jsonList(csv string) string {
 		quoted[i] = fmt.Sprintf("%q", strings.TrimSpace(p))
 	}
 	return "[" + strings.Join(quoted, ",") + "]"
-}
-
-func ctlPost(url, body string, stdout io.Writer) error {
-	resp, err := http.Post(url, "application/json", strings.NewReader(body))
-	if err != nil {
-		return err
-	}
-	return ctlBody(resp, stdout)
 }
 
 // ctlBody streams the response to stdout and turns non-2xx statuses into

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -132,6 +133,61 @@ func TestCtlAgainstServer(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "no result") {
 		t.Fatalf("ctl result should print the error body, got %q", out.String())
+	}
+}
+
+// TestCtlTimeout pins the client-side deadline: a wedged server must not
+// hang ctl forever, and the resulting error must name the target address so
+// a misconfigured -addr is diagnosable.
+func TestCtlTimeout(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // wedge until the test ends
+	}))
+	defer func() { close(release); ts.Close() }()
+
+	var out, errw bytes.Buffer
+	start := time.Now()
+	err := run([]string{"ctl", "-addr", ts.URL, "-timeout", "50ms", "health"}, &out, &errw)
+	if err == nil {
+		t.Fatal("ctl against a wedged server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("ctl took %v to give up; timeout not applied", elapsed)
+	}
+	if !strings.Contains(err.Error(), ts.URL) {
+		t.Fatalf("timeout error %v should name the target %s", err, ts.URL)
+	}
+	var ne interface{ Timeout() bool }
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("error %v should unwrap to a timeout", err)
+	}
+}
+
+// TestCtlDialErrorNamesAddress covers the connection-refused path: the
+// wrapped error must carry the base URL.
+func TestCtlDialErrorNamesAddress(t *testing.T) {
+	// A listener that is closed immediately yields a port that refuses
+	// connections (racy reuse is possible but vanishingly unlikely here).
+	ts := httptest.NewServer(http.NotFoundHandler())
+	dead := ts.URL
+	ts.Close()
+
+	var out, errw bytes.Buffer
+	err := run([]string{"ctl", "-addr", dead, "-timeout", "2s", "workloads"}, &out, &errw)
+	if err == nil {
+		t.Fatal("ctl against a closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), dead) {
+		t.Fatalf("dial error %v should name the target %s", err, dead)
+	}
+}
+
+func TestCtlRejectsNegativeTimeout(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"ctl", "-timeout", "-1s", "health"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "negative -timeout") {
+		t.Fatalf("negative timeout error = %v", err)
 	}
 }
 

@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"sort"
+
+	"selcache/internal/mem"
+)
+
+// This file exposes read-only state snapshots used by the differential
+// oracle (internal/oracle) to cross-check the optimized structures against
+// naive reference models. Snapshots are cold-path only: nothing in the
+// per-access hot path calls them.
+
+// LineSnapshot is one valid line of a snapshot: the block address it holds
+// and its dirty bit.
+type LineSnapshot struct {
+	BlockAddr mem.Addr
+	Dirty     bool
+}
+
+// SnapshotSets returns, per set, the valid lines in MRU-to-LRU order
+// (recency order is derived from the internal stamps, which are unique).
+// Invalid lines are omitted, so a set slice's length is its occupancy.
+func (c *Cache) SnapshotSets() [][]LineSnapshot {
+	sets := c.cfg.Sets()
+	out := make([][]LineSnapshot, sets)
+	type stamped struct {
+		line  LineSnapshot
+		stamp uint64
+	}
+	for s := 0; s < sets; s++ {
+		set := c.lines[s*c.assoc : (s+1)*c.assoc]
+		var live []stamped
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			live = append(live, stamped{
+				line: LineSnapshot{
+					BlockAddr: mem.Addr(set[i].tag << c.blockBits),
+					Dirty:     set[i].dirty,
+				},
+				stamp: set[i].stamp,
+			})
+		}
+		sort.Slice(live, func(a, b int) bool { return live[a].stamp > live[b].stamp })
+		snap := make([]LineSnapshot, len(live))
+		for i := range live {
+			snap[i] = live[i].line
+		}
+		out[s] = snap
+	}
+	return out
+}
+
+// FASnapshot is one resident entry of a fully-associative store snapshot.
+type FASnapshot struct {
+	Key   uint64
+	Dirty bool
+}
+
+// Snapshot returns the resident entries from most- to least-recently used
+// with their dirty payloads (Keys without the payload loss).
+func (f *FA) Snapshot() []FASnapshot {
+	out := make([]FASnapshot, 0, f.n)
+	for i := f.head; i != faNil; i = f.entries[i].next {
+		out = append(out, FASnapshot{Key: f.entries[i].key, Dirty: f.entries[i].dirty})
+	}
+	return out
+}
+
+// Snapshot returns the victim cache's resident blocks from most- to
+// least-recently used. Keys are block numbers (block address divided by
+// the block size), matching what the reference model stores.
+func (v *Victim) Snapshot() []FASnapshot { return v.fa.Snapshot() }

@@ -164,6 +164,14 @@ func Prepare(build Builder, v Version, o Options) (*loopir.Program, regions.Stat
 	return prog, rst, ost
 }
 
+// SimOptions returns the machine-level options Run would configure for
+// version v under o: which mechanism is wired up, whether it starts on,
+// and whether markers drive it. Exposed for the differential oracle
+// (internal/oracle, cmd/validate), which builds its machines out-of-band.
+func SimOptions(v Version, o Options) sim.Options {
+	return simOptions(v, o.normalized())
+}
+
 // simOptions maps a version to machine-level options.
 func simOptions(v Version, o Options) sim.Options {
 	so := sim.Options{

@@ -9,9 +9,31 @@
 //
 // Both are safe for concurrent use and allocation-light: a waiter costs
 // one channel receive, a leader one map insert.
+//
+// A panic in the computing function does not strand waiters: the leader
+// observes the original panic value, every waiter panics with a PanicError
+// wrapping it, and the key is forgotten so a later call retries.
 package flight
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
+
+// PanicError is what waiters panic with when the leader's fn panicked: the
+// waiter goroutines cannot resume the original panic mid-stack, so they
+// get the leader's panic value wrapped with enough context to tell the two
+// apart in a crash dump.
+type PanicError struct {
+	// Value is the leader's original panic value (nil when the leader's
+	// goroutine exited via runtime.Goexit instead of panicking).
+	Value any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("flight: shared call panicked: %v", e.Value)
+}
 
 // Outcome says how a Memo.Get (or Group.Do) call was satisfied.
 type Outcome int
@@ -43,8 +65,40 @@ func (o Outcome) String() string {
 
 // call is one in-flight or completed computation.
 type call[V any] struct {
-	done chan struct{} // closed when val is ready
+	done chan struct{} // closed when val (or the panic) is ready
 	val  V
+	// didPanic and panicked record a panic (or Goexit) in the leader's fn.
+	// They are written before done is closed and read only after it is
+	// closed, so the channel provides the necessary ordering.
+	didPanic bool
+	panicked any
+}
+
+// run executes fn on the leader's goroutine, capturing a panic (or a
+// Goexit, which also unwinds without returning) into the call before
+// closing done. cleanup runs before done is closed so that by the time
+// waiters wake up the key is already forgotten.
+func (c *call[V]) run(fn func() V, cleanup func()) {
+	normal := false
+	defer func() {
+		if !normal {
+			c.didPanic = true
+			c.panicked = recover()
+		}
+		cleanup()
+		close(c.done)
+	}()
+	c.val = fn()
+	normal = true
+}
+
+// deliver hands the call's outcome to a waiter: the value, or a PanicError
+// panic when the leader's fn panicked.
+func (c *call[V]) deliver(o Outcome) (V, Outcome) {
+	if c.didPanic {
+		panic(&PanicError{Value: c.panicked})
+	}
+	return c.val, o
 }
 
 // Group deduplicates concurrent calls sharing a key. Completed keys are
@@ -56,10 +110,10 @@ type Group[K comparable, V any] struct {
 }
 
 // Do runs fn once per overlapping set of callers with the same key and
-// hands every caller the same value. fn runs on the leader's goroutine;
-// a panic in fn propagates to the leader and leaves the waiters blocked
-// on a value that never arrives, so fn must not panic (the simulation
-// entry points it guards capture panics themselves).
+// hands every caller the same value. fn runs on the leader's goroutine. If
+// fn panics, the panic propagates to the leader with its original value,
+// every waiter panics with a *PanicError wrapping that value, and the key
+// is forgotten as usual, so a later Do retries.
 func (g *Group[K, V]) Do(key K, fn func() V) (V, Outcome) {
 	g.mu.Lock()
 	if g.calls == nil {
@@ -68,18 +122,20 @@ func (g *Group[K, V]) Do(key K, fn func() V) (V, Outcome) {
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		<-c.done
-		return c.val, Waited
+		return c.deliver(Waited)
 	}
 	c := &call[V]{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
 
-	c.val = fn()
-	close(c.done)
-
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
+	c.run(fn, func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	})
+	if c.didPanic {
+		panic(c.panicked)
+	}
 	return c.val, Computed
 }
 
@@ -94,7 +150,10 @@ type Memo[K comparable, V any] struct {
 // Get returns the memoized value for key, computing it with fn on first
 // use. The Outcome distinguishes the leader (Computed), callers that
 // overlapped the leader (Waited), and callers that arrived after the
-// value was ready (Cached).
+// value was ready (Cached). If fn panics, the leader re-panics with the
+// original value, overlapping waiters panic with a *PanicError, and the
+// key is dropped instead of retained — a panic outcome is not memoizable,
+// so a later Get retries the computation.
 func (m *Memo[K, V]) Get(key K, fn func() V) (V, Outcome) {
 	m.mu.Lock()
 	if m.calls == nil {
@@ -104,18 +163,26 @@ func (m *Memo[K, V]) Get(key K, fn func() V) (V, Outcome) {
 		m.mu.Unlock()
 		select {
 		case <-c.done:
-			return c.val, Cached
+			return c.deliver(Cached)
 		default:
 		}
 		<-c.done
-		return c.val, Waited
+		return c.deliver(Waited)
 	}
 	c := &call[V]{done: make(chan struct{})}
 	m.calls[key] = c
 	m.mu.Unlock()
 
-	c.val = fn()
-	close(c.done)
+	c.run(fn, func() {
+		if c.didPanic {
+			m.mu.Lock()
+			delete(m.calls, key)
+			m.mu.Unlock()
+		}
+	})
+	if c.didPanic {
+		panic(c.panicked)
+	}
 	return c.val, Computed
 }
 

@@ -122,3 +122,131 @@ func TestOutcomeString(t *testing.T) {
 		}
 	}
 }
+
+// panicOutcome runs f and reports what it panicked with (nil if it
+// returned normally).
+func panicOutcome(f func()) (value any, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			value, panicked = r, true
+		}
+	}()
+	f()
+	return nil, false
+}
+
+// TestGroupPanicPropagates is the regression test for the panic-stranding
+// bug: a panic in the leader's fn used to propagate to the leader only,
+// leaving every waiter blocked forever on a done channel that never
+// closed. Now the leader re-panics with the original value, each waiter
+// panics with a *PanicError, and the key is retried afterwards.
+func TestGroupPanicPropagates(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		v, _ := panicOutcome(func() {
+			g.Do("k", func() int {
+				close(started)
+				<-release
+				panic("boom")
+			})
+		})
+		leaderDone <- v
+	}()
+	<-started
+
+	const waiters = 8
+	waiterDone := make(chan any, waiters)
+	var entered atomic.Int64
+	for i := 0; i < waiters; i++ {
+		go func() {
+			entered.Add(1)
+			v, _ := panicOutcome(func() { g.Do("k", func() int { return -1 }) })
+			waiterDone <- v
+		}()
+	}
+	for entered.Load() != waiters {
+		runtime.Gosched()
+	}
+	time.Sleep(10 * time.Millisecond) // let the waiters reach <-c.done
+	close(release)
+
+	if v := <-leaderDone; v != "boom" {
+		t.Fatalf("leader panicked with %v, want the original value", v)
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case v := <-waiterDone:
+			pe, ok := v.(*PanicError)
+			if !ok || pe.Value != "boom" {
+				t.Fatalf("waiter panicked with %v, want *PanicError{boom}", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter still blocked after leader panic (the stranding bug)")
+		}
+	}
+
+	// The key was forgotten: a fresh call computes normally.
+	if v, out := g.Do("k", func() int { return 7 }); v != 7 || out != Computed {
+		t.Fatalf("post-panic Do = (%d, %v), want (7, Computed)", v, out)
+	}
+}
+
+// TestMemoPanicRetries checks the Memo side: waiters that overlapped a
+// panicking leader get the PanicError, the poisoned key is not memoized,
+// and the next Get runs fn again.
+func TestMemoPanicRetries(t *testing.T) {
+	var m Memo[string, int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderDone := make(chan any, 1)
+	go func() {
+		v, _ := panicOutcome(func() {
+			m.Get("k", func() int {
+				close(started)
+				<-release
+				panic(42)
+			})
+		})
+		leaderDone <- v
+	}()
+	<-started
+
+	waiterDone := make(chan any, 1)
+	go func() {
+		v, _ := panicOutcome(func() { m.Get("k", func() int { return -1 }) })
+		waiterDone <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if v := <-leaderDone; v != 42 {
+		t.Fatalf("leader panicked with %v, want 42", v)
+	}
+	select {
+	case v := <-waiterDone:
+		if pe, ok := v.(*PanicError); !ok || pe.Value != 42 {
+			t.Fatalf("waiter panicked with %v, want *PanicError{42}", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after leader panic")
+	}
+
+	if m.Len() != 0 {
+		t.Fatalf("panicked key retained: Len = %d, want 0", m.Len())
+	}
+	if v, out := m.Get("k", func() int { return 5 }); v != 5 || out != Computed {
+		t.Fatalf("post-panic Get = (%d, %v), want (5, Computed)", v, out)
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	err := &PanicError{Value: "boom"}
+	if got := err.Error(); got != "flight: shared call panicked: boom" {
+		t.Fatalf("Error() = %q", got)
+	}
+}

@@ -1,0 +1,117 @@
+package loopir
+
+import (
+	"fmt"
+
+	"selcache/internal/mem"
+)
+
+// RunReference interprets the program by walking the Node tree directly,
+// with no compilation step: loop bounds and subscripts are evaluated
+// through Expr.Eval over a plain map environment on every use. It is the
+// deliberately naive, obviously-correct counterpart of Run for the
+// differential oracle (internal/oracle): both interpreters must emit the
+// exact same event sequence into em, and the oracle cross-checks that with
+// trace.FirstDivergence. Keep this function boring — its value is that a
+// reviewer can verify it against the Node documentation in one sitting.
+//
+// Emission contract (shared with the compiled interpreter):
+//   - loop entry emits Compute(LoopSetupCost) after the bounds are read;
+//   - every iteration emits Compute(LoopIterCost) before the body;
+//   - a non-opaque statement emits Compute(n.Compute) when positive, then
+//     its non-hoisted analyzable references in order;
+//   - an opaque statement emits nothing automatically: its Run body owns
+//     all emission, including Compute;
+//   - markers emit Marker(on).
+func RunReference(p *Program, em mem.Emitter) {
+	r := &refInterp{ctx: &Ctx{Em: em}, env: make(map[string]int)}
+	r.body(p.Body)
+}
+
+// refInterp carries the tree-walker's state: the map environment the
+// expression evaluator reads, and a Ctx kept in sync with it so opaque Run
+// bodies (which resolve induction variables through Ctx.V) observe the
+// same bindings.
+type refInterp struct {
+	ctx *Ctx
+	env map[string]int
+}
+
+func (r *refInterp) body(body []Node) {
+	for _, n := range body {
+		switch n := n.(type) {
+		case *Loop:
+			r.loop(n)
+		case *Stmt:
+			r.stmt(n)
+		case *Marker:
+			r.ctx.Em.Marker(n.On)
+		default:
+			panic(fmt.Sprintf("loopir: unknown node %T", n))
+		}
+	}
+}
+
+func (r *refInterp) loop(l *Loop) {
+	if l.Step <= 0 {
+		panic(fmt.Sprintf("loopir: loop %s has step %d", l.Var, l.Step))
+	}
+	// Bounds are loop-invariant (only enclosing loops bind variables), so
+	// reading them once at entry is equivalent to per-iteration
+	// re-evaluation; the compiled interpreter does the same.
+	lo := l.Lo.Eval(r.env)
+	hi := l.Bound(r.env)
+	r.ctx.Em.Compute(LoopSetupCost)
+
+	s := r.ctx.slot(l.Var)
+	savedReg, hadReg := r.ctx.regs[s], r.ctx.bound[s]
+	savedEnv, hadEnv := r.env[l.Var]
+	r.ctx.bound[s] = true
+	for v := lo; v < hi; v += l.Step {
+		r.ctx.regs[s] = v
+		r.env[l.Var] = v
+		r.ctx.Em.Compute(LoopIterCost)
+		r.body(l.Body)
+	}
+	if hadReg {
+		r.ctx.regs[s] = savedReg
+	} else {
+		// Unbound variables must read as zero, matching both Expr.Eval's
+		// missing-key semantics and the compiled register file.
+		r.ctx.regs[s] = 0
+		r.ctx.bound[s] = false
+	}
+	if hadEnv {
+		r.env[l.Var] = savedEnv
+	} else {
+		delete(r.env, l.Var)
+	}
+}
+
+func (r *refInterp) stmt(s *Stmt) {
+	if s.Run != nil {
+		s.Run(r.ctx)
+		return
+	}
+	if s.Compute > 0 {
+		r.ctx.Em.Compute(s.Compute)
+	}
+	for i := range s.Refs {
+		ref := &s.Refs[i]
+		if ref.Hoisted {
+			continue
+		}
+		switch ref.Class {
+		case ClassScalar:
+			r.ctx.Em.Access(ref.Scalar.Addr, ref.Scalar.Size, ref.Write)
+		case ClassAffine:
+			idx := make([]int, len(ref.Subs))
+			for d := range ref.Subs {
+				idx[d] = ref.Subs[d].Eval(r.env)
+			}
+			r.ctx.Em.Access(ref.Array.Addr(idx...), ref.Array.AccessSize(), ref.Write)
+		default:
+			panic(fmt.Sprintf("loopir: statement %q has non-analyzable ref %s but no Run body", s.Name, ref))
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package mat
+
+import "selcache/internal/cache"
+
+// This file exposes read-only state snapshots used by the differential
+// oracle (internal/oracle). Cold path only.
+
+// EntrySnapshot is one MAT entry's state.
+type EntrySnapshot struct {
+	Tag       uint64
+	LastBlock uint64
+	Counter   uint32
+}
+
+// Snapshot returns every MAT entry in table order (including never-touched
+// zero entries, so index i of the snapshot is table slot i).
+func (t *Table) Snapshot() []EntrySnapshot {
+	out := make([]EntrySnapshot, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = EntrySnapshot{Tag: e.tag, LastBlock: e.lastBlock, Counter: e.counter}
+	}
+	return out
+}
+
+// SinceAge reports the number of touches since the last aging sweep
+// (oracle invariant: always below the configured AgePeriod).
+func (t *Table) SinceAge() uint64 { return t.sinceAge }
+
+// ConfigSnapshot returns the table's configuration (for bounds checks).
+func (t *Table) ConfigSnapshot() Config { return t.cfg }
+
+// SLDTEntrySnapshot is one SLDT entry's state.
+type SLDTEntrySnapshot struct {
+	Tag       uint64
+	LastBlock uint64
+	Counter   int8
+	Valid     bool
+}
+
+// Snapshot returns every SLDT entry in table order.
+func (s *SLDT) Snapshot() []SLDTEntrySnapshot {
+	out := make([]SLDTEntrySnapshot, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = SLDTEntrySnapshot{Tag: e.tag, LastBlock: e.lastBlock, Counter: e.counter, Valid: e.valid}
+	}
+	return out
+}
+
+// Snapshot returns the bypass buffer's resident double words from most- to
+// least-recently used. Keys are double-word numbers (address divided by 8).
+func (b *Buffer) Snapshot() []cache.FASnapshot { return b.fa.Snapshot() }

@@ -1,0 +1,57 @@
+package oracle
+
+import (
+	"testing"
+
+	"selcache/internal/core"
+	"selcache/internal/loopir"
+	"selcache/internal/loopir/irgen"
+	"selcache/internal/sim"
+	"selcache/internal/trace"
+)
+
+// FuzzOracleEquivalence is the differential fuzzer: every input picks a
+// deterministic random program (irgen) plus one cell of the version ×
+// mechanism matrix, and checks both equivalence layers —
+//
+//  1. the compiled slot-register interpreter against the tree-walking
+//     reference interpreter (identical event streams), and
+//  2. the optimized machine against the reference machine (lockstep state
+//     and bit-exact cycle agreement over that stream).
+//
+// Selective cells route the program through region detection first, so
+// marker handling is fuzzed too.
+func FuzzOracleEquivalence(f *testing.F) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		for pick := 0; pick < 10; pick += 3 {
+			f.Add(seed, uint8(pick))
+		}
+	}
+	f.Add(uint64(0xDEADBEEF), uint8(0x84)) // victim mechanism, selective
+	f.Fuzz(func(t *testing.T, seed uint64, pick uint8) {
+		build := func() *loopir.Program { return irgen.Program(seed, irgen.Default()) }
+
+		// Layer 1: compiled vs tree-walking interpreter.
+		fast := trace.NewRecorder()
+		loopir.Run(build(), fast)
+		ref := trace.NewRecorder()
+		loopir.RunReference(build(), ref)
+		if idx, ea, eb, diverged := trace.FirstDivergence(fast.Trace(), ref.Trace()); diverged {
+			t.Fatalf("seed %d: interpreters diverge at event %d: compiled %s, reference %s", seed, idx, ea, eb)
+		}
+
+		// Layer 2: optimized machine vs reference machine, one matrix cell.
+		version := core.Versions()[int(pick)%core.NumVersions]
+		o := core.DefaultOptions()
+		if pick&0x80 != 0 {
+			o.Mechanism = sim.HWVictim
+		}
+		prog, _, _ := core.Prepare(build, version, o)
+		s := NewShadow(o.Machine, core.SimOptions(version, o))
+		s.CheckEvery = 512
+		loopir.Run(prog, s)
+		if _, err := s.Finish(); err != nil {
+			t.Fatalf("seed %d %s/%s: %v", seed, version, o.Mechanism, err)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"fmt"
+
+	"selcache/internal/cache"
+	"selcache/internal/mat"
+	"selcache/internal/mem"
+	"selcache/internal/sim"
+	"selcache/internal/trace"
+)
+
+// This file holds invariant checks usable from any test, independent of
+// the lockstep shadow: internal consistency of a RunStats, MAT counter
+// saturation bounds, marker-protocol balance of a trace, and the LRU
+// inclusion property (a metamorphic check: growing associativity at a
+// fixed set count can never add misses under LRU).
+
+// CheckStats validates the internal-consistency invariants every RunStats
+// must satisfy, whatever the workload or configuration.
+func CheckStats(st sim.RunStats) error {
+	if err := checkCacheStats("L1", st.L1); err != nil {
+		return err
+	}
+	if err := checkCacheStats("L2", st.L2); err != nil {
+		return err
+	}
+	if st.TLB.Misses > st.TLB.Accesses {
+		return fmt.Errorf("TLB misses %d exceed accesses %d", st.TLB.Misses, st.TLB.Accesses)
+	}
+	if err := checkVictimStats("L1 victim", st.Victim1); err != nil {
+		return err
+	}
+	if err := checkVictimStats("L2 victim", st.Victim2); err != nil {
+		return err
+	}
+	if st.Buffer.Hits > st.Buffer.Probes {
+		return fmt.Errorf("buffer hits %d exceed probes %d", st.Buffer.Hits, st.Buffer.Probes)
+	}
+	if st.Buffer.DirtyEvts > st.Buffer.Fills {
+		return fmt.Errorf("buffer dirty evictions %d exceed fills %d", st.Buffer.DirtyEvts, st.Buffer.Fills)
+	}
+	// Miss classification, when enabled, must account for every miss of
+	// the cache it shadows (plus spatial-prefetch probes at L2).
+	if t := st.L1Class.Total(); t != 0 && t != st.L1.Misses {
+		return fmt.Errorf("L1 classified misses %d != misses %d", t, st.L1.Misses)
+	}
+	if t := st.L2Class.Total(); t != 0 && t != st.L2.Misses {
+		return fmt.Errorf("L2 classified misses %d != misses %d", t, st.L2.Misses)
+	}
+	if st.MemOps+st.Markers > st.Instructions {
+		return fmt.Errorf("memOps %d + markers %d exceed instructions %d", st.MemOps, st.Markers, st.Instructions)
+	}
+	if st.OnCycles > st.Cycles {
+		return fmt.Errorf("on-cycles %d exceed cycles %d", st.OnCycles, st.Cycles)
+	}
+	if st.Instructions > 0 && st.Cycles == 0 {
+		return fmt.Errorf("%d instructions retired in zero cycles", st.Instructions)
+	}
+	return nil
+}
+
+func checkCacheStats(name string, st cache.Stats) error {
+	if st.Hits+st.Misses != st.Accesses {
+		return fmt.Errorf("%s hits %d + misses %d != accesses %d", name, st.Hits, st.Misses, st.Accesses)
+	}
+	if st.DirtyEvictions > st.Evictions {
+		return fmt.Errorf("%s dirty evictions %d exceed evictions %d", name, st.DirtyEvictions, st.Evictions)
+	}
+	return nil
+}
+
+func checkVictimStats(name string, st cache.VictimStats) error {
+	if st.Hits > st.Probes {
+		return fmt.Errorf("%s hits %d exceed probes %d", name, st.Hits, st.Probes)
+	}
+	return nil
+}
+
+// CheckMATBounds validates MAT counter saturation: no counter above the
+// configured maximum, and (since aging halves and touching increments by
+// one) no counter can exceed CounterMax even transiently.
+func CheckMATBounds(entries []mat.EntrySnapshot, cfg mat.Config) error {
+	for i, e := range entries {
+		if e.Counter > cfg.CounterMax {
+			return fmt.Errorf("MAT entry %d counter %d exceeds saturation bound %d", i, e.Counter, cfg.CounterMax)
+		}
+	}
+	return nil
+}
+
+// CheckMarkerAlternation validates the activate/deactivate protocol of a
+// recorded trace: markers strictly alternate and the first one (if any)
+// activates. This is the property region insertion guarantees and the
+// machines' on-cycle accounting assumes.
+func CheckMarkerAlternation(tr *trace.Trace) error {
+	w := markerWatcher{last: -1}
+	tr.Replay(&w)
+	return w.err
+}
+
+type markerWatcher struct {
+	last int8 // -1 none yet
+	n    uint64
+	err  error
+}
+
+func (w *markerWatcher) Access(mem.Addr, uint8, bool) { w.n++ }
+func (w *markerWatcher) Compute(int)                  { w.n++ }
+
+func (w *markerWatcher) Marker(on bool) {
+	defer func() { w.n++ }()
+	if w.err != nil {
+		return
+	}
+	state := int8(0)
+	if on {
+		state = 1
+	}
+	if state == w.last {
+		w.err = fmt.Errorf("marker alternation violated at event %d: consecutive %s", w.n, trace.Event{Kind: trace.KindMarker, On: on})
+		return
+	}
+	if w.last == -1 && state == 0 {
+		w.err = fmt.Errorf("first marker at event %d deactivates", w.n)
+		return
+	}
+	w.last = state
+}
+
+// LRUInclusionByWays replays a trace's accesses through reference LRU
+// caches of growing associativity at a fixed set count and block size, and
+// reports an error if the miss count ever increases — LRU caches enjoy the
+// stack-inclusion property per set, so more ways can never hurt.
+func LRUInclusionByWays(tr *trace.Trace, sets, block int, assocs []int) error {
+	prev := uint64(0)
+	for i, assoc := range assocs {
+		cfg := cache.Config{Size: sets * assoc * block, Assoc: assoc, Block: block}
+		c := newRefCache(cfg)
+		tr.Replay(&lruFeeder{c: c})
+		misses := c.stats.Misses
+		if i > 0 && misses > prev {
+			return fmt.Errorf("LRU inclusion violated: %d sets × %d ways misses %d > %d ways misses %d",
+				sets, assoc, misses, assocs[i-1], prev)
+		}
+		prev = misses
+	}
+	return nil
+}
+
+// lruFeeder drives a reference cache with a trace's accesses,
+// filling on every miss (plain LRU, no bypass or victim interference).
+type lruFeeder struct {
+	c *refCache
+}
+
+func (f *lruFeeder) Access(a mem.Addr, _ uint8, write bool) {
+	if !f.c.lookup(a, write) {
+		f.c.fill(a, write)
+	}
+}
+
+func (f *lruFeeder) Compute(int) {}
+func (f *lruFeeder) Marker(bool) {}

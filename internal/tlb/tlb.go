@@ -7,6 +7,7 @@ package tlb
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"selcache/internal/mem"
 )
@@ -101,4 +102,32 @@ func (t *TLB) Translate(a mem.Addr) bool {
 	set[vi] = entry{tag: page, stamp: t.clock, valid: true}
 	t.mru[s] = uint8(vi)
 	return false
+}
+
+// SnapshotSets returns, per set, the resident page numbers in MRU-to-LRU
+// order (derived from the internal stamps, which are unique). It exists
+// for the differential oracle (internal/oracle) and is cold-path only.
+func (t *TLB) SnapshotSets() [][]uint64 {
+	sets := int(t.setMask) + 1
+	out := make([][]uint64, sets)
+	type stamped struct {
+		page  uint64
+		stamp uint64
+	}
+	for s := 0; s < sets; s++ {
+		set := t.entries[s*t.assoc : (s+1)*t.assoc]
+		var live []stamped
+		for i := range set {
+			if set[i].valid {
+				live = append(live, stamped{page: set[i].tag, stamp: set[i].stamp})
+			}
+		}
+		sort.Slice(live, func(a, b int) bool { return live[a].stamp > live[b].stamp })
+		pages := make([]uint64, len(live))
+		for i := range live {
+			pages[i] = live[i].page
+		}
+		out[s] = pages
+	}
+	return out
 }
