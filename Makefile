@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke fuzz-smoke serve-smoke validate-smoke validate tier1
+.PHONY: check vet build test race bench-smoke fuzz-smoke serve-smoke cluster-smoke validate-smoke validate tier1
 
-check: vet build race bench-smoke serve-smoke validate-smoke fuzz-smoke
+check: vet build race bench-smoke serve-smoke cluster-smoke validate-smoke fuzz-smoke
 
 # tier1 is the fast gate the roadmap requires of every change.
 tier1:
@@ -37,6 +37,15 @@ bench-smoke:
 serve-smoke:
 	$(GO) build -o /tmp/selcached-smoke ./cmd/selcached
 	sh scripts/serve-smoke.sh /tmp/selcached-smoke
+	rm -f /tmp/selcached-smoke
+
+# Coordinator + two workers on random ports, the full 13-workload
+# base/bypass sweep with one worker SIGKILLed mid-run, asserting the
+# merged output is byte-identical to a single-node daemon's
+# (scripts/cluster-smoke.sh, docs/CLUSTER.md).
+cluster-smoke:
+	$(GO) build -o /tmp/selcached-smoke ./cmd/selcached
+	sh scripts/cluster-smoke.sh /tmp/selcached-smoke
 	rm -f /tmp/selcached-smoke
 
 # Differential-oracle spot check: one workload per access-pattern class,

@@ -1,5 +1,6 @@
 // Command selcached serves the reproduction's simulation engine over a
-// JSON HTTP API with a content-addressed result cache (docs/SERVICE.md).
+// JSON HTTP API with a content-addressed result cache (docs/SERVICE.md),
+// and optionally as part of a sweep cluster (docs/CLUSTER.md).
 //
 // Serve mode (the default):
 //
@@ -12,17 +13,29 @@
 // in-flight requests complete, background cache fills finish, then the
 // process exits 0.
 //
+// Every non-worker daemon is also a cluster coordinator: it mounts the
+// /v1/cluster/* endpoints and shards sweep cells across any workers that
+// join (with zero workers it behaves exactly like a single node). Worker
+// mode turns those roles around — the node announces itself to a
+// coordinator and serves forwarded cells:
+//
+//	selcached -addr :8081 -worker -join http://coordinator:8080 \
+//	          -advertise http://worker1:8081
+//
 // Client mode (selcachectl equivalent):
 //
 //	selcached ctl -addr http://127.0.0.1:8080 -timeout 2m health
 //	selcached ctl run -bench swim -config base -mech bypass
 //	selcached ctl sweep -benches swim,compress -configs base
 //	selcached ctl result -key <sha256>
+//	selcached ctl cluster status|workers|shards
 //	selcached ctl workloads | metrics
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,8 +46,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
+	"selcache/internal/cluster"
 	"selcache/internal/server"
 )
 
@@ -54,8 +69,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return runServe(args, stdout, stderr, nil)
 }
 
+// newHTTPServer wraps the handler with the listener-level timeouts a
+// daemon facing untrusted clients needs: ReadHeaderTimeout defeats
+// slowloris-style header dribbling, IdleTimeout reaps abandoned
+// keep-alive connections. Deliberately no ReadTimeout/WriteTimeout —
+// request bodies are tiny, but a response may legitimately take as long
+// as a cold simulation.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // runServe boots the daemon. ready, when non-nil, receives the bound
-// address once the listener is up (tests and the smoke script use the
+// address once the listener is up (tests and the smoke scripts use the
 // stderr line instead).
 func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	fs := flag.NewFlagSet("selcached", flag.ContinueOnError)
@@ -67,6 +96,12 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 		cachedir = fs.String("cachedir", "", "persist simulation results as <key>.json files in `dir`")
 		entries  = fs.Int("cache-entries", 4096, "in-memory result cache capacity")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "default per-request deadline (0: none)")
+
+		workerMode = fs.Bool("worker", false, "run as a cluster worker (requires -join)")
+		join       = fs.String("join", "", "coordinator base `URL` to announce to (worker mode)")
+		advertise  = fs.String("advertise", "", "base `URL` other nodes reach this node at (default http://<bound addr>)")
+		healthInt  = fs.Duration("health-interval", 3*time.Second, "cluster liveness cadence: coordinator probe interval, worker announce interval")
+		hedgeAfter = fs.Duration("hedge-after", 10*time.Second, "coordinator: duplicate a straggling cell to another worker after this long (negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,13 +109,24 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (flags only; did you mean 'selcached ctl'?)", fs.Arg(0))
 	}
+	if *workerMode && *join == "" {
+		return errors.New("-worker requires -join <coordinator URL>")
+	}
+	if !*workerMode && *join != "" {
+		return errors.New("-join only makes sense with -worker")
+	}
 
+	role := "coordinator"
+	if *workerMode {
+		role = "worker"
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		TraceDir:       *tracedir,
 		CacheDir:       *cachedir,
 		CacheEntries:   *entries,
 		DefaultTimeout: *timeout,
+		Role:           role,
 		Log:            stderr,
 	})
 
@@ -88,12 +134,42 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "selcached: listening on %s (%s)\n", ln.Addr(), srv.Describe())
+	self := strings.TrimSuffix(*advertise, "/")
+	if self == "" {
+		self = "http://" + ln.Addr().String()
+	}
+
+	// Cluster wiring. A worker announces itself to the coordinator and
+	// pins forwarded cells to its local engine; every other daemon is a
+	// coordinator — it shards cells across joined workers and degrades to
+	// plain single-node service while none are live.
+	var coord *cluster.Coordinator
+	stopAnnounce := make(chan struct{})
+	announceDone := make(chan struct{})
+	if *workerMode {
+		fmt.Fprintf(stderr, "selcached: worker mode, announcing %s to %s every %v\n", self, *join, *healthInt)
+		go func() {
+			defer close(announceDone)
+			cluster.Announce(stopAnnounce, *join, self, *healthInt, stderr)
+		}()
+	} else {
+		close(announceDone)
+		coord = cluster.New(cluster.Config{
+			Self:           self,
+			HealthInterval: *healthInt,
+			HedgeAfter:     *hedgeAfter,
+			Log:            stderr,
+		})
+		srv.SetRemote(coord.Execute)
+		coord.Register(srv.Mux())
+	}
+
+	fmt.Fprintf(stderr, "selcached: listening on %s (%s, %s)\n", ln.Addr(), role, srv.Describe())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := newHTTPServer(srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -105,10 +181,16 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting, let in-flight requests finish (the
-	// shutdown grace period must outlive the slowest simulation), then
-	// wait for background cache fills.
+	// Graceful drain: stop heartbeating first (a draining worker should
+	// fall out of its coordinator's live set), stop accepting, let
+	// in-flight requests finish (the shutdown grace period must outlive
+	// the slowest simulation), then wait for background cache fills.
 	fmt.Fprintln(stderr, "selcached: draining")
+	close(stopAnnounce)
+	<-announceDone
+	if coord != nil {
+		coord.Close()
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
@@ -122,7 +204,7 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 // runCtl is the bundled client. The action comes first so each action can
 // define its own flags:
 //
-//	selcached ctl [-addr URL] <health|metrics|workloads|run|sweep|result> [flags]
+//	selcached ctl [-addr URL] <health|metrics|workloads|run|sweep|result|cluster> [flags]
 func runCtl(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("selcached ctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -132,7 +214,7 @@ func runCtl(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return errors.New("ctl: missing action (health|metrics|workloads|run|sweep|result)")
+		return errors.New("ctl: missing action (health|metrics|workloads|run|sweep|result|cluster)")
 	}
 	if *timeout < 0 {
 		return fmt.Errorf("ctl: negative -timeout %v", *timeout)
@@ -161,6 +243,8 @@ func runCtl(args []string, stdout, stderr io.Writer) error {
 		return ctlSweep(c, rest, stderr)
 	case "result":
 		return ctlResult(c, rest, stderr)
+	case "cluster":
+		return ctlCluster(c, rest)
 	default:
 		return fmt.Errorf("ctl: unknown action %q", action)
 	}
@@ -175,13 +259,46 @@ type ctlClient struct {
 	stdout io.Writer
 }
 
+// ctlGetAttempts bounds the fetch retry loop for idempotent reads.
+const ctlGetAttempts = 3
+
+// fetch issues a GET, retrying transient transport errors (connection
+// refused or reset mid-exchange, as during a rolling restart) with capped
+// exponential backoff. Only reads go through here — replaying run/sweep
+// POSTs is the server flight group's call to make, not the client's. A
+// client-side timeout is not retried: the deadline is already spent, and
+// another attempt would silently double it.
+func (c *ctlClient) fetch(path string) (*http.Response, error) {
+	var lastErr error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < ctlGetAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+		resp, err := c.hc.Get(c.base + path)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = fmt.Errorf("ctl: %s: %w", c.base, err)
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
 func (c *ctlClient) get(path string, args []string) error {
 	if len(args) > 0 {
 		return fmt.Errorf("unexpected argument %q", args[0])
 	}
-	resp, err := c.hc.Get(c.base + path)
+	resp, err := c.fetch(path)
 	if err != nil {
-		return fmt.Errorf("ctl: %s: %w", c.base, err)
+		return err
 	}
 	return ctlBody(resp, c.stdout)
 }
@@ -253,6 +370,57 @@ func ctlResult(c *ctlClient, args []string, stderr io.Writer) error {
 		return errors.New("ctl result: -key is required")
 	}
 	return c.get("/v1/results/"+*key, nil)
+}
+
+// ctlCluster inspects a coordinator: status and shards stream the raw
+// JSON, workers renders a human-readable membership table.
+func ctlCluster(c *ctlClient, args []string) error {
+	if len(args) == 0 {
+		return errors.New("ctl cluster: missing subaction (status|workers|shards)")
+	}
+	switch args[0] {
+	case "status":
+		return c.get("/v1/cluster/status", args[1:])
+	case "shards":
+		return c.get("/v1/cluster/shards", args[1:])
+	case "workers":
+		if len(args) > 1 {
+			return fmt.Errorf("unexpected argument %q", args[1])
+		}
+		return ctlClusterWorkers(c)
+	default:
+		return fmt.Errorf("ctl cluster: unknown subaction %q (status|workers|shards)", args[0])
+	}
+}
+
+func ctlClusterWorkers(c *ctlClient) error {
+	resp, err := c.fetch("/v1/cluster/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	var st cluster.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("ctl: decoding cluster status: %w", err)
+	}
+	fmt.Fprintf(c.stdout, "workers: %d live / %d total\n", st.LiveWorkers, st.TotalWorkers)
+	tw := tabwriter.NewWriter(c.stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "ADDR\tSTATE\tVERSION\tIN-FLIGHT\tCELLS\tERRORS\tLAST-OK")
+	for _, w := range st.Workers {
+		lastOK := "never"
+		if w.LastOKSecAgo >= 0 {
+			lastOK = fmt.Sprintf("%.0fs ago", w.LastOKSecAgo)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\n", w.Addr, w.State, w.Version, w.InFlight, w.Cells, w.Errors, lastOK)
+	}
+	return tw.Flush()
 }
 
 // jsonList renders a comma-separated flag value as a JSON string array

@@ -4,15 +4,20 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
+
+	"selcache/internal/cluster"
 )
 
 func TestServeFlagErrors(t *testing.T) {
@@ -26,6 +31,31 @@ func TestServeFlagErrors(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "selcached ctl") {
 		t.Fatalf("error %v should hint at ctl mode", err)
+	}
+	err = run([]string{"-worker"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "-worker requires -join") {
+		t.Fatalf("-worker without -join error = %v", err)
+	}
+	err = run([]string{"-join", "http://127.0.0.1:1"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "-join only makes sense with -worker") {
+		t.Fatalf("-join without -worker error = %v", err)
+	}
+}
+
+// TestHTTPServerHardened pins the listener-level timeouts: without a
+// ReadHeaderTimeout one slowloris client dribbling header bytes holds a
+// connection forever, and without an IdleTimeout abandoned keep-alives
+// accumulate.
+func TestHTTPServerHardened(t *testing.T) {
+	s := newHTTPServer(http.NotFoundHandler())
+	if s.ReadHeaderTimeout <= 0 {
+		t.Fatal("ReadHeaderTimeout unset: slowloris headers hold connections forever")
+	}
+	if s.IdleTimeout <= 0 {
+		t.Fatal("IdleTimeout unset: abandoned keep-alive connections are never reaped")
+	}
+	if s.ReadTimeout != 0 || s.WriteTimeout != 0 {
+		t.Fatal("ReadTimeout/WriteTimeout must stay unset: a cold simulation may legitimately outlive any fixed write deadline")
 	}
 }
 
@@ -43,6 +73,9 @@ func TestCtlFlagErrors(t *testing.T) {
 		{"sweep positional", []string{"ctl", "sweep", "extra"}, `unexpected argument "extra"`},
 		{"result missing key", []string{"ctl", "result"}, "-key is required"},
 		{"health positional", []string{"ctl", "health", "extra"}, `unexpected argument "extra"`},
+		{"cluster missing subaction", []string{"ctl", "cluster"}, "missing subaction"},
+		{"cluster unknown subaction", []string{"ctl", "cluster", "dance"}, `unknown subaction "dance"`},
+		{"cluster workers positional", []string{"ctl", "cluster", "workers", "extra"}, `unexpected argument "extra"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -247,6 +280,224 @@ func TestServeEndToEnd(t *testing.T) {
 		if !strings.Contains(logs, want) {
 			t.Errorf("daemon log missing %q:\n%s", want, logs)
 		}
+	}
+}
+
+// flakyListener closes the first drops accepted connections before any
+// bytes flow, simulating a server mid-restart; later connections serve
+// normally.
+type flakyListener struct {
+	net.Listener
+	drops atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return c, err
+		}
+		if l.drops.Add(-1) >= 0 {
+			c.Close()
+			continue
+		}
+		return c, nil
+	}
+}
+
+func newFlakyServer(t *testing.T, drops int32, h http.Handler) (*flakyListener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: ln}
+	fl.drops.Store(drops)
+	go http.Serve(fl, h)
+	t.Cleanup(func() { ln.Close() })
+	return fl, "http://" + ln.Addr().String()
+}
+
+// TestCtlGetRetriesTransientErrors: an idempotent read survives a server
+// whose first two connections die mid-restart.
+func TestCtlGetRetriesTransientErrors(t *testing.T) {
+	_, url := newFlakyServer(t, 2, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		io.WriteString(w, `{"status":"ok"}`)
+	}))
+	var out, errw bytes.Buffer
+	if err := run([]string{"ctl", "-addr", url, "health"}, &out, &errw); err != nil {
+		t.Fatalf("ctl health did not retry past transient errors: %v", err)
+	}
+	if !strings.Contains(out.String(), `"ok"`) {
+		t.Fatalf("ctl health output %q", out.String())
+	}
+}
+
+// TestCtlPostIsSingleShot: run/sweep POSTs must not be replayed by the
+// client — one dropped connection is one failure.
+func TestCtlPostIsSingleShot(t *testing.T) {
+	fl, url := newFlakyServer(t, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"key":"x"}`)
+	}))
+	var out, errw bytes.Buffer
+	err := run([]string{"ctl", "-addr", url, "run", "-bench", "swim"}, &out, &errw)
+	if err == nil {
+		t.Fatal("ctl run succeeded through a dropped connection; POST was retried")
+	}
+	if got := fl.drops.Load(); got != 0 {
+		t.Fatalf("POST consumed %d connections, want exactly 1", 1-got)
+	}
+}
+
+// TestCtlClusterWorkersTable renders the membership table from a stub
+// coordinator.
+func TestCtlClusterWorkersTable(t *testing.T) {
+	st := cluster.Status{
+		LiveWorkers:  1,
+		TotalWorkers: 2,
+		Workers: []cluster.WorkerStatus{
+			{Addr: "http://w1:1", State: "up", Version: "v1.2 go1.22", Cells: 13, LastOKSecAgo: 2},
+			{Addr: "http://w2:1", State: "down", Errors: 4, LastOKSecAgo: -1},
+		},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster/status" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		json.NewEncoder(w).Encode(st)
+	}))
+	defer ts.Close()
+
+	var out, errw bytes.Buffer
+	if err := run([]string{"ctl", "-addr", ts.URL, "cluster", "workers"}, &out, &errw); err != nil {
+		t.Fatalf("ctl cluster workers: %v", err)
+	}
+	for _, want := range []string{"1 live / 2 total", "http://w1:1", "up", "v1.2 go1.22", "http://w2:1", "down", "never"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestClusterEndToEnd boots a real coordinator daemon and a real worker
+// daemon, waits for the worker to join, routes a cell through the cluster,
+// and drains both with one SIGTERM — the in-process twin of
+// scripts/cluster-smoke.sh.
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon end-to-end test skipped in -short mode")
+	}
+	var coLog, wLog lockedBuffer
+	coReady, wReady := make(chan string, 1), make(chan string, 1)
+	coDone, wDone := make(chan error, 1), make(chan error, 1)
+	go func() {
+		coDone <- runServe([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-health-interval", "100ms"},
+			io.Discard, &coLog, coReady)
+	}()
+	var coAddr string
+	select {
+	case coAddr = <-coReady:
+	case err := <-coDone:
+		t.Fatalf("coordinator exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never became ready")
+	}
+	base := "http://" + coAddr
+
+	go func() {
+		wDone <- runServe([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-worker", "-join", base, "-health-interval", "100ms"},
+			io.Discard, &wLog, wReady)
+	}()
+	var wAddr string
+	select {
+	case wAddr = <-wReady:
+	case err := <-wDone:
+		t.Fatalf("worker exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never became ready")
+	}
+
+	// The announce loop registers within an interval or two.
+	var st cluster.Status
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/cluster/status")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+		}
+		if err == nil && st.LiveWorkers == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never joined (status %+v, err %v)", st, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Addr != "http://"+wAddr {
+		t.Fatalf("membership = %+v, want the worker at %s", st.Workers, wAddr)
+	}
+
+	// Role reporting end to end.
+	var out, errw bytes.Buffer
+	if err := run([]string{"ctl", "-addr", base, "health"}, &out, &errw); err != nil {
+		t.Fatalf("ctl health: %v", err)
+	}
+	if !strings.Contains(out.String(), `"role":"coordinator"`) {
+		t.Fatalf("coordinator health = %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"ctl", "-addr", "http://" + wAddr, "health"}, &out, &errw); err != nil {
+		t.Fatalf("ctl health (worker): %v", err)
+	}
+	if !strings.Contains(out.String(), `"role":"worker"`) {
+		t.Fatalf("worker health = %s", out.String())
+	}
+
+	// A cell through the coordinator lands on the worker.
+	out.Reset()
+	if err := run([]string{"ctl", "-addr", base, "run", "-bench", "compress"}, &out, &errw); err != nil {
+		t.Fatalf("ctl run: %v", err)
+	}
+	resp, err := http.Get(base + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Stats.RemoteCells != 1 {
+		t.Fatalf("stats after run = %+v, want one remote cell", st.Stats)
+	}
+
+	out.Reset()
+	if err := run([]string{"ctl", "-addr", base, "cluster", "workers"}, &out, &errw); err != nil {
+		t.Fatalf("ctl cluster workers: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 live / 1 total") || !strings.Contains(out.String(), wAddr) {
+		t.Fatalf("cluster workers table:\n%s", out.String())
+	}
+
+	// One SIGTERM reaches both daemons (process-wide); both drain cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, ch := range map[string]chan error{"coordinator": coDone, "worker": wDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("%s exit error: %v", name, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s did not exit after SIGTERM", name)
+		}
+	}
+	if !strings.Contains(wLog.String(), fmt.Sprintf("joined cluster at %s", base)) {
+		t.Fatalf("worker log missing join line:\n%s", wLog.String())
 	}
 }
 

@@ -1,0 +1,500 @@
+// Package cluster is the horizontal scale-out layer over selcached: a
+// coordinator that shards simulation cells across a set of worker nodes
+// speaking the ordinary selcached HTTP API (docs/CLUSTER.md).
+//
+// The design leans on the same content addressing that powers the result
+// cache. Every cell canonicalizes to a server.Spec whose SHA-256 key is
+// both the cache address and the shard key: a consistent-hash ring with
+// virtual nodes maps keys to workers, so a given cell always lands on the
+// same worker while that worker is live, and that worker's own result
+// cache stays hot for its shard. Membership changes move only the keys
+// owned by the affected worker.
+//
+// Robustness is first-class rather than bolted on:
+//
+//   - per-cell retries with capped exponential backoff plus jitter,
+//     each retry steering away from the worker that just failed;
+//   - hedged requests — a straggling cell is duplicated to the next
+//     distinct worker on the ring and the first answer wins;
+//   - a bounded in-flight semaphore per worker, so one slow node
+//     cannot absorb the coordinator's whole fan-out;
+//   - periodic health probes with eviction after consecutive failures
+//     and readmission as soon as the node answers again (a worker's
+//     join heartbeat readmits it too);
+//   - graceful fallback: a cell the cluster cannot place (no live
+//     workers, or every attempt exhausted) runs on the coordinator's
+//     local engine, so a degraded cluster degrades to single-node
+//     service instead of failing requests.
+//
+// Determinism survives all of it. Workers return full RunResponse bodies
+// whose numbers round-trip JSON exactly (float64 shortest-form encoding),
+// the coordinator reassembles rows in canonical cell order, and sweep
+// averages are recomputed locally with the batch drivers' accumulation
+// order — so a clustered sweep is byte-identical to a single-node one no
+// matter which workers answered, in what order, or how many died along
+// the way. The fault-injection tests in this package and
+// scripts/cluster-smoke.sh hold that line.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"selcache/internal/server"
+	"selcache/internal/sim"
+	"selcache/internal/workloads"
+)
+
+// Config parameterizes a Coordinator. The zero value is production-ready;
+// tests shrink the intervals.
+type Config struct {
+	// Self is this node's own advertised base URL; a worker attempting to
+	// join with it is rejected (a node must not shard cells to itself).
+	Self string
+	// HealthInterval is the gap between health-probe sweeps (0: 3s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one /healthz probe (0: 2s).
+	HealthTimeout time.Duration
+	// FailThreshold is how many consecutive probe or transport failures
+	// evict a worker (0: 2).
+	FailThreshold int
+	// AttemptTimeout bounds one forwarded cell request, which includes the
+	// worker's simulation time on a cold cache (0: 2m).
+	AttemptTimeout time.Duration
+	// MaxAttempts is the per-cell cap on tries across workers before the
+	// coordinator falls back to local execution (0: 3).
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the exponential retry backoff;
+	// each sleep is jittered to half-to-full of the nominal value
+	// (0: 50ms base, 2s cap).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeAfter duplicates a cell to the next distinct worker when the
+	// primary has not answered within this long; the first answer wins
+	// (0: 10s; negative disables hedging).
+	HedgeAfter time.Duration
+	// MaxInFlight bounds concurrent forwarded cells per worker (0: 16).
+	MaxInFlight int
+	// VNodes is the number of virtual nodes per worker on the hash ring
+	// (0: 64).
+	VNodes int
+	// Log receives membership transitions and routing failures (nil:
+	// discarded).
+	Log io.Writer
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 3 * time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = 2 * time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 2 * time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 2 * time.Second
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 10 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 16
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+}
+
+// Stats counts coordinator-level events for GET /v1/cluster/status.
+type Stats struct {
+	// Joins counts first-time registrations; Evictions and Readmissions
+	// count health-state transitions.
+	Joins        uint64 `json:"joins"`
+	Evictions    uint64 `json:"evictions"`
+	Readmissions uint64 `json:"readmissions"`
+	// RemoteCells counts cells a worker answered; RemoteErrors counts
+	// failed attempts (each retry of the same cell counts once).
+	RemoteCells  uint64 `json:"remote_cells"`
+	RemoteErrors uint64 `json:"remote_errors"`
+	// Retries counts re-routed attempts after a failure, Hedges the
+	// duplicate requests launched for stragglers, and HedgeWins the
+	// hedges that beat their primary.
+	Retries   uint64 `json:"retries"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// LocalFallbacks counts cells handed back to the coordinator's local
+	// engine after the cluster could not place them.
+	LocalFallbacks uint64 `json:"local_fallbacks"`
+}
+
+// worker is one registered node. The semaphore is created at join time
+// and survives evictions so a flapping worker keeps its in-flight bound.
+type worker struct {
+	addr string
+	sem  chan struct{}
+
+	// The remaining fields are guarded by Coordinator.mu.
+	up      bool
+	fails   int
+	version string // build identity from the worker's /healthz
+	joined  time.Time
+	lastOK  time.Time
+	cells   uint64
+	errs    uint64
+}
+
+// Coordinator owns cluster membership and routes cells to workers. Create
+// one with New, install Execute as the server's remote hook, and Register
+// its endpoints on the server mux. Close stops the health loop.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client // forwarded cells, AttemptTimeout-bounded
+	probe  *http.Client // health probes, HealthTimeout-bounded
+
+	mu      sync.Mutex
+	workers map[string]*worker
+	ring    *ring // rebuilt on membership transitions; nil until first join
+	stats   Stats
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New returns a Coordinator with its health loop running.
+func New(cfg Config) *Coordinator {
+	cfg.applyDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: cfg.AttemptTimeout},
+		probe:   &http.Client{Timeout: cfg.HealthTimeout},
+		workers: make(map[string]*worker),
+		stop:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.healthLoop()
+	return c
+}
+
+// Close stops the health loop. Idempotent; in-flight forwarded cells are
+// not interrupted.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// normalizeAddr validates a worker base URL.
+func normalizeAddr(addr string) (string, error) {
+	addr = strings.TrimSuffix(strings.TrimSpace(addr), "/")
+	u, err := url.Parse(addr)
+	if err != nil {
+		return "", fmt.Errorf("malformed worker address %q: %v", addr, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("worker address %q must be an absolute http(s) URL", addr)
+	}
+	return addr, nil
+}
+
+// Join registers a worker (or refreshes a known one — workers re-announce
+// as a liveness heartbeat, which is also the fast readmission path after
+// an eviction). It returns the live worker count.
+func (c *Coordinator) Join(addr string) (int, error) {
+	addr, err := normalizeAddr(addr)
+	if err != nil {
+		return 0, err
+	}
+	if c.cfg.Self != "" && addr == strings.TrimSuffix(c.cfg.Self, "/") {
+		return 0, fmt.Errorf("refusing self-join: %s is this coordinator", addr)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[addr]
+	if !ok {
+		w = &worker{
+			addr:   addr,
+			sem:    make(chan struct{}, c.cfg.MaxInFlight),
+			joined: time.Now(),
+		}
+		c.workers[addr] = w
+		c.stats.Joins++
+		fmt.Fprintf(c.cfg.Log, "cluster: worker %s joined (%d live)\n", addr, c.liveLocked()+1)
+	}
+	w.lastOK = time.Now()
+	w.fails = 0
+	if !w.up {
+		if ok {
+			c.stats.Readmissions++
+			fmt.Fprintf(c.cfg.Log, "cluster: worker %s readmitted\n", addr)
+		}
+		w.up = true
+		c.rebuildRingLocked()
+	}
+	return c.liveLocked(), nil
+}
+
+// liveLocked counts up workers; callers hold mu.
+func (c *Coordinator) liveLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.up {
+			n++
+		}
+	}
+	return n
+}
+
+// rebuildRingLocked recomputes the hash ring from the live set; callers
+// hold mu.
+func (c *Coordinator) rebuildRingLocked() {
+	var addrs []string
+	for _, w := range c.workers {
+		if w.up {
+			addrs = append(addrs, w.addr)
+		}
+	}
+	c.ring = buildRing(addrs, c.cfg.VNodes)
+}
+
+// pick resolves the worker owning key, steering around avoid when another
+// live worker exists. It returns nil when no worker is live.
+func (c *Coordinator) pick(key, avoid string) *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		return nil
+	}
+	addr := c.ring.owner(key, avoid)
+	if addr == "" {
+		return nil
+	}
+	return c.workers[addr]
+}
+
+// healthLoop probes every registered worker each interval, evicting after
+// FailThreshold consecutive failures and readmitting on the first success.
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks all workers concurrently (a dead worker costs a
+// full probe timeout; serializing would let one corpse delay the rest).
+func (c *Coordinator) probeAll() {
+	c.mu.Lock()
+	addrs := make([]string, 0, len(c.workers))
+	for addr := range c.workers {
+		addrs = append(addrs, addr)
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			version, err := c.probeWorker(addr)
+			if err != nil {
+				c.noteProbeFailure(addr, err)
+			} else {
+				c.noteProbeSuccess(addr, version)
+			}
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// probeWorker hits one worker's /healthz and extracts its build identity.
+func (c *Coordinator) probeWorker(addr string) (string, error) {
+	resp, err := c.probe.Get(addr + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("healthz status %s", resp.Status)
+	}
+	var hr server.HealthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		return "", fmt.Errorf("healthz body: %v", err)
+	}
+	version := hr.Version + " " + hr.GoVersion
+	if hr.Revision != "" {
+		rev := hr.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		version += " " + rev
+	}
+	return version, nil
+}
+
+func (c *Coordinator) noteProbeSuccess(addr, version string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[addr]
+	if !ok {
+		return
+	}
+	w.fails = 0
+	w.lastOK = time.Now()
+	w.version = version
+	if !w.up {
+		w.up = true
+		c.stats.Readmissions++
+		c.rebuildRingLocked()
+		fmt.Fprintf(c.cfg.Log, "cluster: worker %s readmitted (healthy again)\n", addr)
+	}
+}
+
+func (c *Coordinator) noteProbeFailure(addr string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[addr]
+	if !ok {
+		return
+	}
+	w.fails++
+	if w.up && w.fails >= c.cfg.FailThreshold {
+		w.up = false
+		c.stats.Evictions++
+		c.rebuildRingLocked()
+		fmt.Fprintf(c.cfg.Log, "cluster: worker %s evicted after %d failed probes (%v)\n", addr, w.fails, err)
+	}
+}
+
+// WorkerStatus is one worker's row in a status snapshot.
+type WorkerStatus struct {
+	Addr    string `json:"addr"`
+	State   string `json:"state"` // "up" or "down"
+	Version string `json:"version,omitempty"`
+	// InFlight is the number of cells currently forwarded to this worker;
+	// Cells and Errors are lifetime counters.
+	InFlight int    `json:"in_flight"`
+	Cells    uint64 `json:"cells"`
+	Errors   uint64 `json:"errors"`
+	// JoinedSecAgo and LastOKSecAgo locate the membership events in time
+	// (LastOKSecAgo is -1 for a worker that never answered).
+	JoinedSecAgo float64 `json:"joined_sec_ago"`
+	LastOKSecAgo float64 `json:"last_ok_sec_ago"`
+}
+
+// Status is the body of GET /v1/cluster/status.
+type Status struct {
+	LiveWorkers  int            `json:"live_workers"`
+	TotalWorkers int            `json:"total_workers"`
+	Stats        Stats          `json:"stats"`
+	Workers      []WorkerStatus `json:"workers"`
+}
+
+// Status snapshots membership and counters, workers sorted by address.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := Status{
+		LiveWorkers:  c.liveLocked(),
+		TotalWorkers: len(c.workers),
+		Stats:        c.stats,
+		Workers:      make([]WorkerStatus, 0, len(c.workers)),
+	}
+	for _, w := range c.workers {
+		ws := WorkerStatus{
+			Addr:         w.addr,
+			State:        "down",
+			Version:      w.version,
+			InFlight:     len(w.sem),
+			Cells:        w.cells,
+			Errors:       w.errs,
+			JoinedSecAgo: now.Sub(w.joined).Seconds(),
+			LastOKSecAgo: -1,
+		}
+		if w.up {
+			ws.State = "up"
+		}
+		if !w.lastOK.IsZero() {
+			ws.LastOKSecAgo = now.Sub(w.lastOK).Seconds()
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Addr < st.Workers[j].Addr })
+	return st
+}
+
+// ShardEntry maps one canonical cell to the worker currently owning it.
+type ShardEntry struct {
+	Workload  string `json:"workload"`
+	Config    string `json:"config"`
+	Mechanism string `json:"mechanism"`
+	Key       string `json:"key"`
+	// Worker is the owning worker's address, or "" when the cell would
+	// run on the coordinator (no live workers).
+	Worker string `json:"worker"`
+}
+
+// ShardMap enumerates the full canonical experiment matrix — every
+// workload × machine configuration × mechanism, classification off — and
+// the worker each cell routes to right now. It is a routing preview for
+// operators, not a reservation: membership changes remap.
+func (c *Coordinator) ShardMap() []ShardEntry {
+	var entries []ShardEntry
+	for _, cfg := range sim.ExperimentConfigs() {
+		for _, mech := range []string{"bypass", "victim"} {
+			for _, wl := range workloads.All() {
+				spec, _, err := server.ResolveSpec(server.RunRequest{
+					Workload: wl.Name, Config: cfg.Name, Mechanism: mech,
+				})
+				if err != nil {
+					continue // unreachable: the enumeration is the known set
+				}
+				key := spec.Key()
+				entry := ShardEntry{
+					Workload:  spec.Workload,
+					Config:    spec.Config,
+					Mechanism: spec.Mechanism,
+					Key:       key,
+				}
+				if w := c.pick(key, ""); w != nil {
+					entry.Worker = w.addr
+				}
+				entries = append(entries, entry)
+			}
+		}
+	}
+	return entries
+}

@@ -1,0 +1,130 @@
+// http.go mounts the coordinator's operator-facing endpoints next to the
+// core selcached API (docs/CLUSTER.md documents the wire shapes).
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxJoinBodyBytes bounds /v1/cluster/join bodies (a single URL).
+const maxJoinBodyBytes = 4 << 10
+
+// JoinRequest is the body of POST /v1/cluster/join: a worker announcing
+// the base URL it can be reached at.
+type JoinRequest struct {
+	Addr string `json:"addr"`
+}
+
+// JoinResponse acknowledges a registration.
+type JoinResponse struct {
+	OK          bool `json:"ok"`
+	LiveWorkers int  `json:"live_workers"`
+}
+
+// Register mounts the cluster endpoints on mux:
+//
+//	POST /v1/cluster/join    worker registration / liveness heartbeat
+//	GET  /v1/cluster/status  membership, per-worker counters, stats
+//	GET  /v1/cluster/shards  canonical-cell → worker routing preview
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/cluster/join", c.handleJoin)
+	mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
+	mux.HandleFunc("GET /v1/cluster/shards", c.handleShards)
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJoinBodyBytes))
+	dec.DisallowUnknownFields()
+	var req JoinRequest
+	if err := dec.Decode(&req); err != nil {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("malformed join body: %v", err))
+		return
+	}
+	if req.Addr == "" {
+		clusterError(w, http.StatusBadRequest, errors.New("join: missing addr"))
+		return
+	}
+	live, err := c.Join(req.Addr)
+	if err != nil {
+		clusterError(w, http.StatusBadRequest, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, JoinResponse{OK: true, LiveWorkers: live})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	clusterJSON(w, http.StatusOK, c.Status())
+}
+
+func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	clusterJSON(w, http.StatusOK, c.ShardMap())
+}
+
+// clusterJSON mirrors the server's deterministic single-marshal JSON
+// writer (the packages stay decoupled, so the helper is duplicated).
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func clusterError(w http.ResponseWriter, status int, err error) {
+	clusterJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// Announce is the worker half of membership: register self with the
+// coordinator and keep re-announcing every interval as a liveness
+// heartbeat — which doubles as automatic readmission after a coordinator
+// evicted (or restarted and forgot) this worker. Transitions are logged
+// once, not every tick. Blocks until stop closes.
+func Announce(stop <-chan struct{}, coordinator, self string, interval time.Duration, log io.Writer) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	coordinator = strings.TrimSuffix(coordinator, "/")
+	hc := &http.Client{Timeout: 5 * time.Second}
+	body := fmt.Sprintf(`{"addr":%q}`, self)
+	joined := false
+	for {
+		err := announceOnce(hc, coordinator, body)
+		switch {
+		case err == nil && !joined:
+			fmt.Fprintf(log, "selcached: joined cluster at %s (as %s)\n", coordinator, self)
+			joined = true
+		case err != nil && joined:
+			fmt.Fprintf(log, "selcached: lost coordinator %s: %v (will keep retrying)\n", coordinator, err)
+			joined = false
+		case err != nil && !joined:
+			// Quietly keep trying: the coordinator may simply not be up yet.
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+func announceOnce(hc *http.Client, coordinator, body string) error {
+	resp, err := hc.Post(coordinator+"/v1/cluster/join", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("join rejected: %s: %s", resp.Status, firstLine(b))
+	}
+	return nil
+}

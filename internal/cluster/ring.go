@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker addresses. Each worker
+// contributes vnodes points (FNV-1a of "addr#i") so load spreads evenly
+// and a membership change only remaps the keys owned by the affected
+// worker — which is exactly the shard-affinity property the per-worker
+// result caches rely on.
+type ring struct {
+	points []ringPoint // sorted ascending by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// hash64 is FNV-1a over s with a splitmix64 finalizer. FNV alone leaves
+// the high bits of near-identical strings correlated — the vnode labels
+// ("addr#0" … "addr#63") differ only in their tail, and without the final
+// mix a worker's points clump on the ring badly enough to starve it.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// buildRing constructs a ring over addrs. An empty addrs yields an empty
+// ring whose owner() always returns "".
+func buildRing(addrs []string, vnodes int) *ring {
+	r := &ring{}
+	for _, a := range addrs {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", a, i)), addr: a})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr // total order even on hash collisions
+	})
+	return r
+}
+
+// owner returns the address owning key: the first point clockwise from
+// the key's hash. When avoid is non-empty the walk continues to the first
+// point belonging to a different worker — the retry path steers around
+// the worker that just failed — unless avoid is the only worker on the
+// ring, in which case retrying it beats giving up.
+func (r *ring) owner(key, avoid string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	first := ""
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if first == "" {
+			first = p.addr
+		}
+		if p.addr != avoid {
+			return p.addr
+		}
+	}
+	return first
+}

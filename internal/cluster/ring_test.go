@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fixed addresses so the distribution assertions are deterministic.
+var testAddrs = []string{
+	"http://10.0.0.1:8080",
+	"http://10.0.0.2:8080",
+	"http://10.0.0.3:8080",
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(nil, 64)
+	if got := r.owner("anything", ""); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing(testAddrs, 64)
+	b := buildRing([]string{testAddrs[2], testAddrs[0], testAddrs[1]}, 64)
+	for _, k := range testKeys(200) {
+		if a.owner(k, "") != b.owner(k, "") {
+			t.Fatalf("owner of %q depends on insertion order", k)
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing property itself: removing
+// one worker must remap only the keys that worker owned.
+func TestRingStability(t *testing.T) {
+	full := buildRing(testAddrs, 64)
+	reduced := buildRing(testAddrs[:2], 64)
+	moved := 0
+	for _, k := range testKeys(1000) {
+		was := full.owner(k, "")
+		now := reduced.owner(k, "")
+		if was != testAddrs[2] && was != now {
+			t.Fatalf("key %q moved from surviving worker %s to %s", k, was, now)
+		}
+		if was == testAddrs[2] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed worker owned no keys; distribution is broken")
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := buildRing(testAddrs, 64)
+	counts := map[string]int{}
+	keys := testKeys(1000)
+	for _, k := range keys {
+		counts[r.owner(k, "")]++
+	}
+	for _, a := range testAddrs {
+		if counts[a] < len(keys)*15/100 {
+			t.Fatalf("worker %s owns only %d/%d keys; distribution too skewed: %v", a, counts[a], len(keys), counts)
+		}
+	}
+}
+
+func TestRingAvoid(t *testing.T) {
+	r := buildRing(testAddrs, 64)
+	for _, k := range testKeys(100) {
+		owner := r.owner(k, "")
+		alt := r.owner(k, owner)
+		if alt == owner {
+			t.Fatalf("avoid(%q) returned the avoided worker with alternatives live", k)
+		}
+		if alt == "" {
+			t.Fatalf("avoid(%q) returned no worker", k)
+		}
+	}
+	// With a single worker, avoiding it still returns it: retrying the
+	// only worker beats failing.
+	solo := buildRing(testAddrs[:1], 64)
+	if got := solo.owner("k", testAddrs[0]); got != testAddrs[0] {
+		t.Fatalf("solo ring avoid = %q, want the sole worker", got)
+	}
+}

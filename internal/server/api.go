@@ -49,14 +49,15 @@ type SweepRequest struct {
 	TimeoutMillis int64    `json:"timeout_ms,omitempty"`
 }
 
-// cellSpec is the canonical, fully-resolved identity of one simulation
+// Spec is the canonical, fully-resolved identity of one simulation
 // cell (a RunRequest with defaults applied and the render-only fields
 // stripped). Its deterministic JSON encoding is what gets hashed into
 // the content-addressed result key, so field order and types here ARE
 // the cache-key format: changing them invalidates every persisted
 // result, exactly like changing the trace codec invalidates .sctrace
-// files.
-type cellSpec struct {
+// files. internal/cluster shards sweeps by this key, which is also why
+// the type is exported.
+type Spec struct {
 	Workload      string `json:"workload"`
 	Config        string `json:"config"`
 	Mechanism     string `json:"mechanism"`
@@ -64,11 +65,11 @@ type cellSpec struct {
 	UpdateWhenOff bool   `json:"update_when_off"`
 }
 
-// resolveSpec validates a RunRequest's identity fields against the known
+// ResolveSpec validates a RunRequest's identity fields against the known
 // workloads, configurations and mechanisms and returns the canonical
 // spec plus the simulation options it denotes.
-func resolveSpec(req RunRequest) (cellSpec, core.Options, error) {
-	spec := cellSpec{
+func ResolveSpec(req RunRequest) (Spec, core.Options, error) {
+	spec := Spec{
 		Workload:      req.Workload,
 		Config:        req.Config,
 		Mechanism:     req.Mechanism,
@@ -82,11 +83,11 @@ func resolveSpec(req RunRequest) (cellSpec, core.Options, error) {
 		spec.Mechanism = "bypass"
 	}
 	if _, ok := workloads.ByName(spec.Workload); !ok {
-		return cellSpec{}, core.Options{}, fmt.Errorf("unknown workload %q", spec.Workload)
+		return Spec{}, core.Options{}, fmt.Errorf("unknown workload %q", spec.Workload)
 	}
 	cfg, ok := configByName(spec.Config)
 	if !ok {
-		return cellSpec{}, core.Options{}, fmt.Errorf("unknown config %q", spec.Config)
+		return Spec{}, core.Options{}, fmt.Errorf("unknown config %q", spec.Config)
 	}
 	o := core.DefaultOptions()
 	o.Machine = cfg
@@ -98,17 +99,17 @@ func resolveSpec(req RunRequest) (cellSpec, core.Options, error) {
 	case "victim":
 		o.Mechanism = sim.HWVictim
 	default:
-		return cellSpec{}, core.Options{}, fmt.Errorf("unknown mechanism %q", spec.Mechanism)
+		return Spec{}, core.Options{}, fmt.Errorf("unknown mechanism %q", spec.Mechanism)
 	}
 	return spec, o, nil
 }
 
-// key returns the content address of the cell: the SHA-256 of the spec's
+// Key returns the content address of the cell: the SHA-256 of the spec's
 // canonical JSON encoding, in hex.
-func (s cellSpec) key() string {
+func (s Spec) Key() string {
 	b, err := json.Marshal(s)
 	if err != nil {
-		panic(fmt.Sprintf("server: marshaling cellSpec: %v", err)) // fixed struct; cannot fail
+		panic(fmt.Sprintf("server: marshaling Spec: %v", err)) // fixed struct; cannot fail
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
@@ -176,21 +177,22 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// storedResult is the cached value behind a key: the resolved spec plus
+// StoredResult is the cached value behind a key: the resolved spec plus
 // the executed row. It is also the on-disk persistence format
-// (<key>.json under -cachedir).
-type storedResult struct {
-	Spec cellSpec        `json:"spec"`
+// (<key>.json under -cachedir) and the unit a cluster coordinator moves
+// between nodes.
+type StoredResult struct {
+	Spec Spec            `json:"spec"`
 	Row  experiments.Row `json:"row"`
 }
 
-// response renders the stored result as the wire shape, optionally
+// Response renders the stored result as the wire shape, optionally
 // filtered to a single version (empty: all five). The row's WallNanos
 // are zeroed by the executor before caching, so rendering is
 // deterministic.
-func (sr storedResult) response(version string) RunResponse {
+func (sr StoredResult) Response(version string) RunResponse {
 	resp := RunResponse{
-		Key:       sr.Spec.key(),
+		Key:       sr.Spec.Key(),
 		Workload:  sr.Spec.Workload,
 		Class:     sr.Row.Class.String(),
 		Config:    sr.Spec.Config,

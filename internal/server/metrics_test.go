@@ -45,6 +45,28 @@ func TestMetricsLatencyWindowWraps(t *testing.T) {
 	}
 }
 
+// TestMetricsLatencyWindowPartialRollover covers the ring mid-wrap: the
+// newest half has overwritten the oldest half, so the quantiles must see
+// a mix of both generations — not just whichever wrote last.
+func TestMetricsLatencyWindowPartialRollover(t *testing.T) {
+	m := newMetrics()
+	for i := 0; i < latencyWindow; i++ {
+		m.runCompleted(10*time.Millisecond, 0)
+	}
+	for i := 0; i < latencyWindow/2; i++ {
+		m.runCompleted(time.Millisecond, 0)
+	}
+	rm := m.snapshotRuns(0)
+	// Sorted window: latencyWindow/2 values at 1ms, then latencyWindow/2 at
+	// 10ms. Nearest-rank p50 lands on the last 1ms, p99 in the 10ms half.
+	if rm.P50Millis != 1 {
+		t.Fatalf("p50 = %g, want 1 (new generation) mid-rollover", rm.P50Millis)
+	}
+	if rm.P99Millis != 10 {
+		t.Fatalf("p99 = %g, want 10 (old generation) mid-rollover", rm.P99Millis)
+	}
+}
+
 func TestQuantileEdgeCases(t *testing.T) {
 	if q := quantile(nil, 0.5); q != 0 {
 		t.Fatalf("quantile(nil) = %g", q)

@@ -26,7 +26,7 @@ type ResultCacheStats struct {
 }
 
 // resultCache is the content-addressed result store: an in-memory LRU of
-// executed rows keyed by the cellSpec digest, optionally backed by a
+// executed rows keyed by the Spec digest, optionally backed by a
 // persistence directory holding one <key>.json per result. The LRU bounds
 // memory on long-lived servers (a full Table 3 is only 156 cells, but an
 // adversarial request stream is unbounded); the disk tier survives
@@ -44,7 +44,7 @@ type resultCache struct {
 // lruEntry is what an LRU element holds.
 type lruEntry struct {
 	key string
-	val storedResult
+	val StoredResult
 }
 
 // newResultCache returns a cache holding at most capacity entries in
@@ -83,7 +83,7 @@ func (c *resultCache) path(key string) string {
 
 // get returns the stored result for key, consulting memory first and the
 // persistence directory second. A disk hit is promoted into memory.
-func (c *resultCache) get(key string) (storedResult, bool) {
+func (c *resultCache) get(key string) (StoredResult, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -112,23 +112,23 @@ func (c *resultCache) get(key string) (storedResult, bool) {
 	c.mu.Lock()
 	c.stats.Misses++
 	c.mu.Unlock()
-	return storedResult{}, false
+	return StoredResult{}, false
 }
 
 // load reads and validates one persisted result. The stored spec must
 // hash back to the requested key — a truncated or hand-edited file is an
 // error, not a wrong answer.
-func (c *resultCache) load(key string) (storedResult, error) {
+func (c *resultCache) load(key string) (StoredResult, error) {
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return storedResult{}, err
+		return StoredResult{}, err
 	}
-	var sr storedResult
+	var sr StoredResult
 	if err := json.Unmarshal(b, &sr); err != nil {
-		return storedResult{}, fmt.Errorf("decoding %s: %w", c.path(key), err)
+		return StoredResult{}, fmt.Errorf("decoding %s: %w", c.path(key), err)
 	}
-	if sr.Spec.key() != key {
-		return storedResult{}, fmt.Errorf("%s: stored spec does not hash to its key", c.path(key))
+	if sr.Spec.Key() != key {
+		return StoredResult{}, fmt.Errorf("%s: stored spec does not hash to its key", c.path(key))
 	}
 	return sr, nil
 }
@@ -136,7 +136,7 @@ func (c *resultCache) load(key string) (storedResult, error) {
 // put stores an executed result in memory (evicting the LRU tail past
 // capacity) and, with persistence on, writes it to disk via an atomic
 // rename so a crashed server never leaves a torn file.
-func (c *resultCache) put(key string, sr storedResult) {
+func (c *resultCache) put(key string, sr StoredResult) {
 	c.mu.Lock()
 	c.insertLocked(key, sr)
 	c.mu.Unlock()
@@ -151,7 +151,7 @@ func (c *resultCache) put(key string, sr storedResult) {
 	}
 }
 
-func (c *resultCache) insertLocked(key string, sr storedResult) {
+func (c *resultCache) insertLocked(key string, sr StoredResult) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*lruEntry).val = sr
@@ -166,7 +166,7 @@ func (c *resultCache) insertLocked(key string, sr storedResult) {
 	}
 }
 
-func (c *resultCache) persist(key string, sr storedResult) error {
+func (c *resultCache) persist(key string, sr StoredResult) error {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return err
 	}

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"selcache/internal/experiments"
@@ -10,25 +12,25 @@ import (
 
 // specN returns a distinct valid spec (unknown workloads are fine here:
 // the cache layer never resolves them).
-func specN(n string) cellSpec {
-	return cellSpec{Workload: n, Config: "base", Mechanism: "bypass"}
+func specN(n string) Spec {
+	return Spec{Workload: n, Config: "base", Mechanism: "bypass"}
 }
 
-func storedN(n string) storedResult {
-	return storedResult{Spec: specN(n), Row: experiments.Row{Benchmark: n}}
+func storedN(n string) StoredResult {
+	return StoredResult{Spec: specN(n), Row: experiments.Row{Benchmark: n}}
 }
 
 func TestResultCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2, "")
 	for _, n := range []string{"a", "b", "c"} {
-		c.put(specN(n).key(), storedN(n))
+		c.put(specN(n).Key(), storedN(n))
 	}
 	// "a" is the LRU victim.
-	if _, ok := c.get(specN("a").key()); ok {
+	if _, ok := c.get(specN("a").Key()); ok {
 		t.Fatal("evicted entry still present")
 	}
 	for _, n := range []string{"b", "c"} {
-		if _, ok := c.get(specN(n).key()); !ok {
+		if _, ok := c.get(specN(n).Key()); !ok {
 			t.Fatalf("entry %q missing", n)
 		}
 	}
@@ -41,19 +43,19 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	}
 
 	// Touching "b" then inserting "d" must evict "c", not "b".
-	c.get(specN("b").key())
-	c.put(specN("d").key(), storedN("d"))
-	if _, ok := c.get(specN("b").key()); !ok {
+	c.get(specN("b").Key())
+	c.put(specN("d").Key(), storedN("d"))
+	if _, ok := c.get(specN("b").Key()); !ok {
 		t.Fatal("recently-used entry evicted")
 	}
-	if _, ok := c.get(specN("c").key()); ok {
+	if _, ok := c.get(specN("c").Key()); ok {
 		t.Fatal("LRU entry survived")
 	}
 }
 
 func TestResultCacheDiskRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	key := specN("swim").key()
+	key := specN("swim").Key()
 
 	c := newResultCache(4, dir)
 	c.put(key, storedN("swim"))
@@ -83,7 +85,7 @@ func TestResultCacheDiskRoundTrip(t *testing.T) {
 
 func TestResultCacheCorruptDiskFile(t *testing.T) {
 	dir := t.TempDir()
-	key := specN("swim").key()
+	key := specN("swim").Key()
 	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{broken"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -99,12 +101,12 @@ func TestResultCacheCorruptDiskFile(t *testing.T) {
 
 func TestResultCacheRejectsMismatchedStoredSpec(t *testing.T) {
 	dir := t.TempDir()
-	key := specN("swim").key()
+	key := specN("swim").Key()
 	// A syntactically valid file whose spec hashes to a different key
 	// (e.g. copied between directories by hand) must not be served.
 	c := newResultCache(4, dir)
-	c.put(specN("applu").key(), storedN("applu"))
-	src, _ := os.ReadFile(filepath.Join(dir, specN("applu").key()+".json"))
+	c.put(specN("applu").Key(), storedN("applu"))
+	src, _ := os.ReadFile(filepath.Join(dir, specN("applu").Key()+".json"))
 	if err := os.WriteFile(filepath.Join(dir, key+".json"), src, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -117,13 +119,63 @@ func TestResultCacheRejectsMismatchedStoredSpec(t *testing.T) {
 }
 
 func TestValidKey(t *testing.T) {
-	good := specN("x").key()
+	good := specN("x").Key()
 	if !validKey(good) {
 		t.Fatalf("validKey(%q) = false", good)
 	}
 	for _, bad := range []string{"", "short", good[:63], good + "0", "../../../../etc/passwd", good[:60] + "ZZZZ"} {
 		if validKey(bad) {
 			t.Errorf("validKey(%q) = true", bad)
+		}
+	}
+}
+
+// TestResultCacheConcurrentFills hammers a tiny LRU from many goroutines
+// (the sweep fan-out fills the cache exactly like this) and checks the
+// structural invariants afterwards: capacity respected, map and list in
+// agreement, values uncorrupted. CI's -race job gives this teeth.
+func TestResultCacheConcurrentFills(t *testing.T) {
+	const capacity = 8
+	c := newResultCache(capacity, "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := fmt.Sprintf("wl-%d", (g*31+i)%10)
+				key := specN(n).Key()
+				if sr, ok := c.get(key); ok {
+					if sr.Row.Benchmark != n {
+						panic(fmt.Sprintf("key %s returned row for %s", n, sr.Row.Benchmark))
+					}
+					continue
+				}
+				c.put(key, storedN(n))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := c.snapshot()
+	if snap.Entries > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", snap.Entries, capacity)
+	}
+	if snap.Hits == 0 || snap.Misses == 0 || snap.Evictions == 0 {
+		t.Fatalf("stats = %+v, want hits, misses and evictions all exercised", snap)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll.Len() != len(c.items) {
+		t.Fatalf("list has %d entries, map has %d", c.ll.Len(), len(c.items))
+	}
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		if c.items[e.key] != el {
+			t.Fatalf("map entry for %s does not point at its list element", e.key)
+		}
+		if specN(e.val.Row.Benchmark).Key() != e.key {
+			t.Fatalf("entry %s holds the value for %s", e.key, e.val.Row.Benchmark)
 		}
 	}
 }

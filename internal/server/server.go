@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -33,6 +34,11 @@ import (
 // fully-enumerated sweep) is a few hundred bytes.
 const maxBodyBytes = 1 << 20
 
+// ForwardedHeader marks a request a cluster coordinator already routed
+// once. A server seeing it executes locally instead of consulting its own
+// remote hook, which breaks forwarding cycles between misconfigured nodes.
+const ForwardedHeader = "X-Selcache-Forwarded"
+
 // Config parameterizes a Server.
 type Config struct {
 	// Workers bounds concurrent simulations (0: one per CPU).
@@ -46,6 +52,9 @@ type Config struct {
 	// DefaultTimeout bounds requests that do not set timeout_ms
 	// (0: no deadline).
 	DefaultTimeout time.Duration
+	// Role names this node's place in a cluster for GET /healthz
+	// ("coordinator", "worker"; empty: "standalone").
+	Role string
 	// Log receives startup and per-error lines (nil: discarded).
 	Log io.Writer
 }
@@ -58,13 +67,16 @@ type Server struct {
 	pool    *parallel.Pool
 	traces  *experiments.TraceCache
 	results *resultCache
-	group   flight.Group[string, storedResult]
+	group   flight.Group[string, StoredResult]
 	metrics *metrics
 	mux     *http.ServeMux
 	bg      sync.WaitGroup
 
 	// runRow executes one cell; tests substitute slow or counting stand-ins.
 	runRow func(w workloads.Workload, o core.Options, tc *experiments.TraceCache) experiments.Row
+	// remote, when set, is offered every cell before the local engine
+	// (the cluster scale-out hook).
+	remote RemoteFunc
 }
 
 // New returns a ready-to-serve Server.
@@ -97,6 +109,33 @@ func New(cfg Config) *Server {
 // Handler returns the HTTP entry point.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Mux exposes the route table so optional layers (internal/cluster) can
+// mount additional endpoints next to the core API before serving starts.
+func (s *Server) Mux() *http.ServeMux { return s.mux }
+
+// RemoteFunc executes one canonical cell somewhere other than the local
+// engine — in practice, on a cluster worker. A nil error means sr is the
+// authoritative result for the spec; ErrNotRouted (or any other error)
+// sends the cell to the local engine instead.
+type RemoteFunc func(spec Spec) (StoredResult, error)
+
+// ErrNotRouted is the RemoteFunc refusal that carries no news: the remote
+// layer has nowhere to send the cell (no live workers). The server falls
+// back to local execution without logging it as a failure.
+var ErrNotRouted = errors.New("cell not routed remotely")
+
+// SetRemote installs the scale-out hook consulted before local execution.
+// Call it before the server starts handling requests; it is not
+// synchronized against in-flight cells.
+func (s *Server) SetRemote(fn RemoteFunc) { s.remote = fn }
+
+// SetRunRow replaces the local cell executor. Tests and fault-injection
+// harnesses substitute counting, slow, or fabricated stand-ins; call it
+// before the server starts handling requests.
+func (s *Server) SetRunRow(fn func(w workloads.Workload, o core.Options, tc *experiments.TraceCache) experiments.Row) {
+	s.runRow = fn
+}
+
 // Drain blocks until every simulation admitted so far — including
 // background fills whose requester timed out — has completed and written
 // its result to the cache. Call it after the HTTP listener has stopped.
@@ -115,25 +154,37 @@ func (s *Server) Describe() string {
 // errDeadline marks a request that expired before its result was ready.
 var errDeadline = errors.New("deadline exceeded waiting for simulation")
 
-// execute returns the stored result for spec, through the three reuse
-// tiers: result cache, in-flight dedup, fresh run on the pool. The
-// cacheHit return distinguishes tier one (served without simulating or
-// waiting on a simulation) for the X-Selcache header.
-func (s *Server) execute(ctx context.Context, spec cellSpec, o core.Options) (storedResult, bool, error) {
-	key := spec.key()
+// execute returns the stored result for spec, through the reuse tiers:
+// result cache, in-flight dedup, then the remote hook (when installed and
+// not suppressed) or a fresh run on the local pool. noRemote pins the
+// cell to the local engine — set for requests a coordinator already
+// forwarded here, so two misconfigured nodes pointed at each other
+// cannot bounce a cell forever. The cacheHit return distinguishes tier
+// one (served without simulating or waiting on a simulation) for the
+// X-Selcache header.
+func (s *Server) execute(ctx context.Context, spec Spec, o core.Options, noRemote bool) (StoredResult, bool, error) {
+	key := spec.Key()
 	if sr, ok := s.results.get(key); ok {
 		return sr, true, nil
 	}
 
 	type outcome struct {
-		sr     storedResult
+		sr     StoredResult
 		shared flight.Outcome
 	}
 	ch := make(chan outcome, 1)
 	s.bg.Add(1)
 	go func() {
 		defer s.bg.Done()
-		sr, how := s.group.Do(key, func() storedResult {
+		sr, how := s.group.Do(key, func() StoredResult {
+			if s.remote != nil && !noRemote {
+				if sr, err := s.remote(spec); err == nil {
+					s.results.put(key, sr)
+					return sr
+				} else if !errors.Is(err, ErrNotRouted) {
+					fmt.Fprintf(s.cfg.Log, "selcached: cell %s: remote execution failed, running locally: %v\n", key[:12], err)
+				}
+			}
 			w, _ := workloads.ByName(spec.Workload)
 			s.metrics.runStarted()
 			var row experiments.Row
@@ -150,7 +201,7 @@ func (s *Server) execute(ctx context.Context, spec cellSpec, o core.Options) (st
 				events += row.Stats[v].Instructions
 			}
 			s.metrics.runCompleted(elapsed, events)
-			sr := storedResult{Spec: spec, Row: row}
+			sr := StoredResult{Spec: spec, Row: row}
 			s.results.put(key, sr)
 			return sr
 		})
@@ -164,7 +215,7 @@ func (s *Server) execute(ctx context.Context, spec cellSpec, o core.Options) (st
 		}
 		return out.sr, false, nil
 	case <-ctx.Done():
-		return storedResult{}, false, errDeadline
+		return StoredResult{}, false, errDeadline
 	}
 }
 
@@ -181,10 +232,55 @@ func (s *Server) requestContext(r *http.Request, timeoutMillis int64) (context.C
 	return context.WithTimeout(r.Context(), d)
 }
 
+// HealthResponse is the body of GET /healthz. Beyond liveness it carries
+// enough build identity (module version, Go toolchain, VCS revision) for
+// a cluster operator to tell worker versions apart from `ctl health` or
+// the coordinator's status page.
+type HealthResponse struct {
+	Status    string  `json:"status"`
+	Role      string  `json:"role"`
+	Version   string  `json:"version"`
+	GoVersion string  `json:"go"`
+	Revision  string  `json:"revision,omitempty"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+// buildIdentity is resolved once from the binary's embedded build info.
+var buildIdentity = func() (version, goVersion, revision string) {
+	version, goVersion = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion, ""
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return version, goVersion, revision
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("healthz")
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	role := s.cfg.Role
+	if role == "" {
+		role = "standalone"
+	}
+	version, goVersion, revision := buildIdentity()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Role:      role,
+		Version:   version,
+		GoVersion: goVersion,
+		Revision:  revision,
+		UptimeSec: time.Since(s.metrics.start).Seconds(),
+	})
 }
 
 // MetricsSnapshot is the body of GET /metrics: expvar-style counters for
@@ -228,7 +324,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	spec, o, err := resolveSpec(req)
+	spec, o, err := ResolveSpec(req)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -239,13 +335,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
 	defer cancel()
-	sr, hit, err := s.execute(ctx, spec, o)
+	sr, hit, err := s.execute(ctx, spec, o, r.Header.Get(ForwardedHeader) != "")
 	if err != nil {
 		s.fail(w, http.StatusGatewayTimeout, err)
 		return
 	}
 	setCacheHeader(w, hit)
-	writeJSON(w, http.StatusOK, sr.response(req.Version))
+	writeJSON(w, http.StatusOK, sr.Response(req.Version))
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -255,19 +351,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	noRemote := r.Header.Get(ForwardedHeader) != ""
 	names := req.Workloads
 	if len(names) == 0 {
 		for _, wl := range workloads.All() {
 			names = append(names, wl.Name)
 		}
 	}
-	s.serveSweep(w, r, req, names)
+	s.serveSweep(w, r, req, names, noRemote)
 }
 
 // serveSweep resolves the request matrix, executes every cell through the
 // shared reuse tiers, and assembles per-(config, mechanism) sweeps with
 // the exact float-accumulation order of the batch drivers.
-func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, names []string) {
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, names []string, noRemote bool) {
 	configs := req.Configs
 	if len(configs) == 0 {
 		for _, c := range experimentConfigNames() {
@@ -282,16 +379,16 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 	// Resolve every cell up front so validation errors arrive before any
 	// simulation starts.
 	type sweepPlan struct {
-		spec0 cellSpec // config/mechanism identity (workload varies)
+		spec0 Spec // config/mechanism identity (workload varies)
 		opts  core.Options
-		specs []cellSpec
+		specs []Spec
 	}
 	var plans []sweepPlan
 	for _, cfg := range configs {
 		for _, mech := range mechs {
 			plan := sweepPlan{}
 			for _, name := range names {
-				spec, o, err := resolveSpec(RunRequest{
+				spec, o, err := ResolveSpec(RunRequest{
 					Workload:      name,
 					Config:        cfg,
 					Mechanism:     mech,
@@ -321,7 +418,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 	// the flight group collapses duplicates (a sweep listing the same
 	// workload twice costs one run).
 	type cellOut struct {
-		sr  storedResult
+		sr  StoredResult
 		err error
 	}
 	results := make([][]cellOut, len(plans))
@@ -332,7 +429,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 			wg.Add(1)
 			go func(pi, ci int) {
 				defer wg.Done()
-				sr, _, err := s.execute(ctx, plans[pi].specs[ci], plans[pi].opts)
+				sr, _, err := s.execute(ctx, plans[pi].specs[ci], plans[pi].opts, noRemote)
 				results[pi][ci] = cellOut{sr: sr, err: err}
 			}(pi, ci)
 		}
@@ -350,7 +447,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 				return
 			}
 			rows[ci] = out.sr.Row
-			sres.Rows = append(sres.Rows, out.sr.response(""))
+			sres.Rows = append(sres.Rows, out.sr.Response(""))
 		}
 		sw := experiments.Assemble(plan.opts, rows)
 		sres.AvgImprovementPct = make(map[string]float64, core.NumVersions)
@@ -386,7 +483,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setCacheHeader(w, true)
-	writeJSON(w, http.StatusOK, sr.response(""))
+	writeJSON(w, http.StatusOK, sr.Response(""))
 }
 
 // experimentConfigNames lists the machine-configuration names in Table 3

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -88,10 +89,36 @@ func fetchMetrics(t *testing.T, base string) MetricsSnapshot {
 }
 
 func TestHealthz(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, Config{Role: "worker"})
 	resp, b := get(t, ts.URL+"/healthz")
-	if resp.StatusCode != http.StatusOK || string(b) != "ok\n" {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d %q", resp.StatusCode, b)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(b, &hr); err != nil {
+		t.Fatalf("healthz body %q: %v", b, err)
+	}
+	if hr.Status != "ok" || hr.Role != "worker" {
+		t.Fatalf("healthz = %+v, want status ok / role worker", hr)
+	}
+	// Build identity must be populated (possibly "(devel)" / "unknown",
+	// but never empty) so operators can tell worker versions apart.
+	if hr.Version == "" || hr.GoVersion == "" {
+		t.Fatalf("healthz build identity empty: %+v", hr)
+	}
+	if hr.UptimeSec < 0 {
+		t.Fatalf("healthz uptime %g < 0", hr.UptimeSec)
+	}
+
+	// The default role is "standalone".
+	_, ts2 := newTestServer(t, Config{})
+	_, b2 := get(t, ts2.URL+"/healthz")
+	var hr2 HealthResponse
+	if err := json.Unmarshal(b2, &hr2); err != nil {
+		t.Fatal(err)
+	}
+	if hr2.Role != "standalone" {
+		t.Fatalf("default role = %q, want standalone", hr2.Role)
 	}
 }
 
@@ -449,6 +476,97 @@ func TestSweepEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown config sweep = %d", resp.StatusCode)
 	}
+}
+
+// TestRemoteHook pins the scale-out seam: an installed RemoteFunc is
+// offered every cell first, its result is cached like a local run, a
+// failure falls back to the local engine with a log line, and ErrNotRouted
+// falls back silently.
+func TestRemoteHook(t *testing.T) {
+	var log lockedLog
+	s, ts := newTestServer(t, Config{Log: &log})
+	var localRuns, remoteCalls atomic.Int64
+	s.SetRunRow(func(w workloads.Workload, o core.Options, tc *experiments.TraceCache) experiments.Row {
+		localRuns.Add(1)
+		return stubRow(w)
+	})
+	remoteErr := error(nil)
+	s.SetRemote(func(spec Spec) (StoredResult, error) {
+		remoteCalls.Add(1)
+		if remoteErr != nil {
+			return StoredResult{}, remoteErr
+		}
+		w, _ := workloads.ByName(spec.Workload)
+		return StoredResult{Spec: spec, Row: stubRow(w)}, nil
+	})
+
+	// Remote success: no local execution, result lands in the cache.
+	resp, _ := postJSON(t, ts.URL+"/v1/run", `{"workload":"swim"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if remoteCalls.Load() != 1 || localRuns.Load() != 0 {
+		t.Fatalf("remote=%d local=%d, want 1/0", remoteCalls.Load(), localRuns.Load())
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/run", `{"workload":"swim"}`)
+	if resp.Header.Get("X-Selcache") != "hit" {
+		t.Fatal("remote result was not cached")
+	}
+
+	// Remote failure: local fallback, and the failure is logged.
+	remoteErr = errors.New("worker exploded")
+	postJSON(t, ts.URL+"/v1/run", `{"workload":"compress"}`)
+	if remoteCalls.Load() != 2 || localRuns.Load() != 1 {
+		t.Fatalf("remote=%d local=%d, want 2/1", remoteCalls.Load(), localRuns.Load())
+	}
+	if !strings.Contains(log.String(), "worker exploded") {
+		t.Fatalf("fallback not logged: %q", log.String())
+	}
+
+	// ErrNotRouted: silent local fallback.
+	remoteErr = ErrNotRouted
+	postJSON(t, ts.URL+"/v1/run", `{"workload":"adi"}`)
+	if localRuns.Load() != 2 {
+		t.Fatalf("local=%d, want 2", localRuns.Load())
+	}
+	if strings.Contains(log.String(), "not routed") {
+		t.Fatalf("ErrNotRouted was logged as a failure: %q", log.String())
+	}
+
+	// A forwarded request must never re-enter the remote hook.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/run", strings.NewReader(`{"workload":"tpc-c"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	fresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded run status %d", fresp.StatusCode)
+	}
+	if remoteCalls.Load() != 3 || localRuns.Load() != 3 {
+		t.Fatalf("remote=%d local=%d after forwarded request, want 3/3", remoteCalls.Load(), localRuns.Load())
+	}
+}
+
+// lockedLog is a mutex-guarded strings.Builder for server logs written
+// from background fill goroutines.
+type lockedLog struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
 }
 
 // TestRunMatchesBatch is the fidelity acceptance test: for a real

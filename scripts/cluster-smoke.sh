@@ -1,0 +1,98 @@
+#!/bin/sh
+# cluster-smoke boots a coordinator and two workers on random ports, runs
+# the paper's full 13-workload base/bypass sweep through the cluster while
+# SIGKILLing one worker mid-run, and asserts the merged output is
+# byte-identical to the same sweep on a plain single-node daemon. This is
+# the shell-level twin of the fault-injection tests in internal/cluster:
+# it proves the built binary's cluster lifecycle, not just the packages.
+set -eu
+
+BIN=${1:?usage: cluster-smoke.sh <selcached-binary>}
+DIR=$(mktemp -d)
+COORD_PID= W1_PID= W2_PID= REF_PID=
+cleanup() {
+    for pid in $COORD_PID $W1_PID $W2_PID $REF_PID; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# wait_addr LOGFILE PID -> echoes the bound address from the startup line.
+wait_addr() {
+    _addr=
+    for _ in $(seq 1 50); do
+        _addr=$(sed -n 's/^selcached: listening on \([^ ]*\).*/\1/p' "$1")
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "cluster-smoke: daemon died at boot" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "cluster-smoke: daemon never bound" >&2; cat "$1" >&2; exit 1; }
+    echo "$_addr"
+}
+
+SWEEP_ARGS="sweep -configs base -mechs bypass"
+
+# Reference: the same sweep on an unclustered daemon.
+"$BIN" -addr 127.0.0.1:0 -workers 2 2>"$DIR/ref.log" &
+REF_PID=$!
+REF_ADDR=$(wait_addr "$DIR/ref.log" "$REF_PID")
+"$BIN" ctl -addr "http://$REF_ADDR" $SWEEP_ARGS >"$DIR/ref.json"
+kill -TERM "$REF_PID" && wait "$REF_PID" 2>/dev/null || true
+REF_PID=
+
+# Cluster: coordinator plus two workers that join it.
+"$BIN" -addr 127.0.0.1:0 -workers 2 -health-interval 250ms 2>"$DIR/coord.log" &
+COORD_PID=$!
+COORD_ADDR=$(wait_addr "$DIR/coord.log" "$COORD_PID")
+
+"$BIN" -addr 127.0.0.1:0 -workers 2 -worker -join "http://$COORD_ADDR" -health-interval 250ms 2>"$DIR/w1.log" &
+W1_PID=$!
+"$BIN" -addr 127.0.0.1:0 -workers 2 -worker -join "http://$COORD_ADDR" -health-interval 250ms 2>"$DIR/w2.log" &
+W2_PID=$!
+wait_addr "$DIR/w1.log" "$W1_PID" >/dev/null
+wait_addr "$DIR/w2.log" "$W2_PID" >/dev/null
+
+# Both workers registered and live.
+for _ in $(seq 1 50); do
+    "$BIN" ctl -addr "http://$COORD_ADDR" cluster status >"$DIR/status.json" 2>/dev/null || true
+    case $(cat "$DIR/status.json") in
+    *'"live_workers":2'*) break ;;
+    esac
+    sleep 0.1
+done
+case $(cat "$DIR/status.json") in
+*'"live_workers":2'*) ;;
+*) echo "cluster-smoke: workers never joined" >&2; cat "$DIR/coord.log" >&2; exit 1 ;;
+esac
+"$BIN" ctl -addr "http://$COORD_ADDR" cluster workers >&2
+
+# Sweep through the cluster, SIGKILLing one worker while cells are in
+# flight. Retries reroute its shard; the merge must not notice.
+"$BIN" ctl -addr "http://$COORD_ADDR" $SWEEP_ARGS >"$DIR/got.json" &
+SWEEP_PID=$!
+sleep 0.5
+kill -9 "$W2_PID" 2>/dev/null || true
+W2_PID=
+wait "$SWEEP_PID" || { echo "cluster-smoke: clustered sweep failed after worker kill" >&2; cat "$DIR/coord.log" >&2; exit 1; }
+
+cmp -s "$DIR/ref.json" "$DIR/got.json" || {
+    echo "cluster-smoke: clustered sweep differs from single-node output" >&2
+    ls -l "$DIR/ref.json" "$DIR/got.json" >&2
+    exit 1
+}
+
+# Graceful drain of the survivors.
+kill -TERM "$COORD_PID" "$W1_PID"
+for pid in $COORD_PID $W1_PID; do
+    i=0
+    while kill -0 "$pid" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "cluster-smoke: daemon ignored SIGTERM" >&2; exit 1; }
+        sleep 0.1
+    done
+done
+wait "$COORD_PID" 2>/dev/null || { echo "cluster-smoke: coordinator exited non-zero" >&2; cat "$DIR/coord.log" >&2; exit 1; }
+grep -q "drained, exiting" "$DIR/coord.log" || { echo "cluster-smoke: no drain marker" >&2; cat "$DIR/coord.log" >&2; exit 1; }
+COORD_PID= W1_PID=
+echo "cluster-smoke: ok (coordinator $COORD_ADDR, one worker survived a SIGKILL, output byte-identical)"
