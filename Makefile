@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke fuzz-smoke serve-smoke cluster-smoke validate-smoke validate tier1
+.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke validate-smoke validate tier1
 
 check: vet build race bench-smoke serve-smoke cluster-smoke validate-smoke fuzz-smoke
 
@@ -30,6 +30,21 @@ race:
 # not a measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'ParallelSweep|AccessHotPath' -benchtime=1x .
+
+# Regenerate the committed perf artifact: the full Table 3 sweep through the
+# batched replay engine, with per-benchmark event counts and wall times
+# (schema selcache-bench/v1, docs/PERFORMANCE.md §7). Wall times are host
+# measurements — expect them to differ run to run; the schema and event
+# counts are what CI validates.
+bench-json:
+	$(GO) run ./cmd/experiments -run table3 -benchjson BENCH_table3.json
+
+# CI smoke: emit the artifact from the cheapest sweep (Table 2 is a single
+# config), then re-load it through the schema validator.
+bench-json-smoke:
+	$(GO) run ./cmd/experiments -run table2 -benchjson /tmp/bench-smoke.json
+	$(GO) run ./cmd/experiments -verifybench /tmp/bench-smoke.json
+	rm -f /tmp/bench-smoke.json
 
 # Boot the selcached daemon on a random port, hit /healthz and one
 # /v1/run through its bundled ctl client, then SIGTERM and assert a

@@ -3,8 +3,10 @@
 // the optimized engine and by the naive reference model (internal/oracle),
 // in lockstep with cross-checking after every event. It also checks the
 // compiled loopir interpreter against the tree-walking reference
-// interpreter for every workload's stream classes, and validates the
-// marker protocol of selective streams.
+// interpreter for every workload's stream classes, validates the marker
+// protocol of selective streams, and cross-checks the columnar batched
+// replay engine against the scalar path (recorded trace, both replays,
+// RunStats compared field by field).
 //
 //	validate                 # full matrix: 13 workloads × 5 versions × both mechanisms
 //	validate -short          # spot-check subset (one workload per class)
@@ -84,8 +86,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	fmt.Fprintf(stdout, "validate: %d lockstep cells + %d interpreter checks over %d workloads\n",
-		len(cells), len(selected)*core.NumStreams, len(selected))
+	fmt.Fprintf(stdout, "validate: %d lockstep cells + %d interpreter checks + %d batched-replay checks over %d workloads\n",
+		len(cells), len(selected)*core.NumStreams, len(cells), len(selected))
 
 	failures := 0
 	report := func(name string, err error) {
@@ -122,10 +124,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		report(r.name, r.err)
 	}
 
-	if failures > 0 {
-		return fmt.Errorf("%d of %d checks diverged", failures, len(interp)+len(results))
+	// Batched-replay equivalence: record each cell's trace once and replay
+	// it through both the scalar and the columnar engine; every statistic
+	// the run produces must match exactly.
+	batched := parallel.Map(parallel.Workers(*workers), len(cells), func(i int) interpResult {
+		return interpResult{name: "batched " + cells[i].name(), err: checkBatchedReplay(cells[i])}
+	})
+	for _, r := range batched {
+		report(r.name, r.err)
 	}
-	fmt.Fprintf(stdout, "validate: all %d checks agree\n", len(interp)+len(results))
+
+	total := len(interp) + len(results) + len(batched)
+	if failures > 0 {
+		return fmt.Errorf("%d of %d checks diverged", failures, total)
+	}
+	fmt.Fprintf(stdout, "validate: all %d checks agree\n", total)
 	return nil
 }
 
@@ -206,6 +219,26 @@ func runCell(c cell, checkEvery uint64) error {
 	loopir.Run(prog, s)
 	_, err := s.Finish()
 	return err
+}
+
+// checkBatchedReplay records the cell's event stream and replays it twice —
+// through the scalar event-at-a-time path and through the columnar batched
+// engine — and requires the full RunStats to match exactly (WallNanos, the
+// one nondeterministic field, zeroed).
+func checkBatchedReplay(c cell) error {
+	o := core.DefaultOptions()
+	o.Machine = c.machine
+	if c.mech != sim.HWNone {
+		o.Mechanism = c.mech
+	}
+	t, _, _ := core.RecordTrace(c.workload.Build, c.version, o)
+	sc := core.ReplayTraceScalar(t, c.version, o)
+	ba := core.ReplayTraceBuffered(t, c.version, o, nil)
+	sc.Sim.WallNanos, ba.Sim.WallNanos = 0, 0
+	if sc.Sim != ba.Sim {
+		return fmt.Errorf("batched replay diverges from scalar:\n     scalar  %+v\n     batched %+v", sc.Sim, ba.Sim)
+	}
+	return nil
 }
 
 // checkInterpreters compares the compiled interpreter's event stream with

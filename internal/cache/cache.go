@@ -131,18 +131,40 @@ func (c *Cache) set(block uint64) []line {
 	return c.lines[s*c.assoc : (s+1)*c.assoc]
 }
 
+// BlockShift returns log2 of the line size: addr >> BlockShift() is the
+// block number Lookup works with. The batched replay engine precomputes
+// block columns with it.
+func (c *Cache) BlockShift() uint { return c.blockBits }
+
 // Lookup probes the cache for the block containing a. On a hit it updates
 // recency (and the dirty bit for writes) and returns true. On a miss it
 // returns false without allocating; the caller decides whether and how to
 // fill. Stats are updated either way.
 func (c *Cache) Lookup(a mem.Addr, write bool) bool {
+	return c.LookupBlock(uint64(a)>>c.blockBits, write)
+}
+
+// LookupBlock is Lookup with the block number (addr >> BlockShift) already
+// computed; the batched engine's pure phase precomputes block columns and
+// the stateful phase probes with them. It is LookupFast composed with
+// LookupSlow; hot probe sites call the pair directly so the fast half
+// inlines (the composition itself exceeds the inliner's budget).
+func (c *Cache) LookupBlock(block uint64, write bool) bool {
+	return c.LookupFast(block, write) || c.LookupSlow(block, write)
+}
+
+// LookupFast is the MRU fast path of a probe: it charges the access and
+// resolves it with a single tag compare against the way that hit last. A
+// false return has NOT completed the probe — the caller must immediately
+// call LookupSlow with the same arguments. The split exists so this path,
+// which resolves most probes of any access stream with locality, inlines
+// at the probe site.
+func (c *Cache) LookupFast(block uint64, write bool) bool {
 	c.Stats.Accesses++
 	c.clock++
-	block := uint64(a) >> c.blockBits
 	s := int(block & c.setMask)
-	base := s * c.assoc
-	// MRU fast path: one tag compare against the way that hit last.
-	if ln := &c.lines[base+int(c.mru[s])]; ln.valid && ln.tag == block {
+	ln := &c.lines[s*c.assoc+int(c.mru[s])]
+	if ln.valid && ln.tag == block {
 		ln.stamp = c.clock
 		if write {
 			ln.dirty = true
@@ -150,6 +172,14 @@ func (c *Cache) Lookup(a mem.Addr, write bool) bool {
 		c.Stats.Hits++
 		return true
 	}
+	return false
+}
+
+// LookupSlow completes a probe LookupFast declined: the full set walk,
+// updating recency and the MRU hint on a hit, charging the miss otherwise.
+func (c *Cache) LookupSlow(block uint64, write bool) bool {
+	s := int(block & c.setMask)
+	base := s * c.assoc
 	set := c.lines[base : base+c.assoc]
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
@@ -208,20 +238,38 @@ func (c *Cache) lruIndex(set []line) int {
 // necessary, and returns the displaced line. dirty marks the incoming line
 // dirty (write-allocate stores). Filling an already-resident block just
 // refreshes it.
+//
+// Residency and victim choice are resolved in a single pass over the set
+// (the victim is the first invalid way, else the first minimum-stamp way —
+// exactly lruIndex's choice); Fill is on the miss path of every access, so
+// the second scan was measurable.
 func (c *Cache) Fill(a mem.Addr, dirty bool) Evicted {
 	c.clock++
 	block := uint64(a) >> c.blockBits
 	s := int(block & c.setMask)
 	set := c.lines[s*c.assoc : (s+1)*c.assoc]
+	inv, mi := -1, -1
 	for i := range set {
-		if set[i].valid && set[i].tag == block {
+		if !set[i].valid {
+			if inv < 0 {
+				inv = i
+			}
+			continue
+		}
+		if set[i].tag == block {
 			set[i].stamp = c.clock
 			set[i].dirty = set[i].dirty || dirty
 			c.mru[s] = uint8(i)
 			return Evicted{}
 		}
+		if mi < 0 || set[i].stamp < set[mi].stamp {
+			mi = i
+		}
 	}
-	vi := c.lruIndex(set)
+	vi := inv
+	if vi < 0 {
+		vi = mi
+	}
 	ev := Evicted{}
 	if set[vi].valid {
 		ev = Evicted{
@@ -236,6 +284,60 @@ func (c *Cache) Fill(a mem.Addr, dirty bool) Evicted {
 	}
 	set[vi] = line{tag: block, stamp: c.clock, valid: true, dirty: dirty}
 	c.mru[s] = uint8(vi)
+	return ev
+}
+
+// FillMiss is Fill for a block the caller knows is absent: the Lookup that
+// just missed was on this same set and nothing has touched the set since
+// (L2 traffic, victim-cache probes and bypass-buffer activity do not).
+// Skipping the residency scan roughly halves the fill cost, and fills sit
+// on the miss path of every simulated access. The victim choice — first
+// invalid way, else first minimum-stamp way — is exactly Fill's.
+func (c *Cache) FillMiss(a mem.Addr, dirty bool) Evicted {
+	block := uint64(a) >> c.blockBits
+	set := c.set(block)
+	return c.fillWay(block, c.lruIndex(set), dirty)
+}
+
+// VictimWay is VictimBlock with the chosen way exposed, so a caller that
+// goes on to fill can hand the way back to FillWay instead of paying the
+// LRU scan twice. The triple is only meaningful while the set is untouched.
+func (c *Cache) VictimWay(a mem.Addr) (way int, victim mem.Addr, valid bool) {
+	block := uint64(a) >> c.blockBits
+	set := c.set(block)
+	vi := c.lruIndex(set)
+	if !set[vi].valid {
+		return vi, 0, false
+	}
+	return vi, mem.Addr(set[vi].tag << c.blockBits), true
+}
+
+// FillWay completes a fill into the way VictimWay chose. The caller
+// guarantees the block is absent and the set untouched since VictimWay.
+func (c *Cache) FillWay(a mem.Addr, way int, dirty bool) Evicted {
+	return c.fillWay(uint64(a)>>c.blockBits, way, dirty)
+}
+
+// fillWay installs block into the given way of its set, charging eviction
+// statistics for a displaced valid line.
+func (c *Cache) fillWay(block uint64, way int, dirty bool) Evicted {
+	c.clock++
+	s := int(block & c.setMask)
+	ln := &c.lines[s*c.assoc+way]
+	ev := Evicted{}
+	if ln.valid {
+		ev = Evicted{
+			BlockAddr: mem.Addr(ln.tag << c.blockBits),
+			Dirty:     ln.dirty,
+			Valid:     true,
+		}
+		c.Stats.Evictions++
+		if ln.dirty {
+			c.Stats.DirtyEvictions++
+		}
+	}
+	*ln = line{tag: block, stamp: c.clock, valid: true, dirty: dirty}
+	c.mru[s] = uint8(way)
 	return ev
 }
 

@@ -94,3 +94,33 @@ func ReplayTrace(t *trace.Trace, v Version, o Options) Result {
 	st.WallNanos = time.Since(start).Nanoseconds()
 	return Result{Version: v, Sim: st}
 }
+
+// ReplayTraceScalar is ReplayTrace forced through the event-at-a-time
+// scalar path: the reference the batched engine is validated against
+// (cmd/validate, TestBatchedReplayEquivalence).
+func ReplayTraceScalar(t *trace.Trace, v Version, o Options) Result {
+	o = o.normalized()
+	machine := sim.NewMachine(o.Machine, simOptions(v, o))
+	start := time.Now()
+	t.ReplayScalar(machine)
+	st := machine.Finish()
+	st.WallNanos = time.Since(start).Nanoseconds()
+	return Result{Version: v, Sim: st}
+}
+
+// ReplayTraceBuffered is ReplayTrace with a caller-owned reusable decode
+// block: sweep workers replaying hundreds of streams reuse one SoA block
+// per worker (first-touched on that worker, see parallel.Arena) instead of
+// allocating one per replay. A nil blk allocates privately; streams the
+// packed form cannot represent fall back to the scalar path.
+func ReplayTraceBuffered(t *trace.Trace, v Version, o Options, blk *trace.Block) Result {
+	o = o.normalized()
+	machine := sim.NewMachine(o.Machine, simOptions(v, o))
+	start := time.Now()
+	if !t.ReplayBatched(machine, blk) {
+		t.ReplayScalar(machine)
+	}
+	st := machine.Finish()
+	st.WallNanos = time.Since(start).Nanoseconds()
+	return Result{Version: v, Sim: st}
+}

@@ -18,8 +18,19 @@ import (
 	"selcache/internal/core"
 	"selcache/internal/parallel"
 	"selcache/internal/sim"
+	"selcache/internal/trace"
 	"selcache/internal/workloads"
 )
+
+// blockArena builds the per-worker arena of reusable SoA decode blocks the
+// sweeps hand to core.ReplayTraceBuffered: one block per worker, padded and
+// first-touched on that worker (parallel.Arena), so replay never allocates
+// per cell and workers never false-share decode state.
+func blockArena(workers int) *parallel.Arena[trace.Block] {
+	return parallel.NewArena(workers, func() *trace.Block {
+		return trace.NewBlock(trace.DefaultBlockEvents)
+	})
+}
 
 // Row holds one benchmark's results across the simulated versions.
 type Row struct {
@@ -70,15 +81,16 @@ func (sw Sweep) Events() uint64 {
 // is safe to execute on any worker, and its RunStats are byte-identical
 // to a live core.Run (modulo the documented WallNanos nondeterminism).
 func RunRow(w workloads.Workload, o core.Options, tc *TraceCache) Row {
-	return runRow(w, o, tc.orNew())
+	return runRow(w, o, tc.orNew(), nil)
 }
 
-// runRow is RunRow's internal form: tc must be non-nil.
-func runRow(w workloads.Workload, o core.Options, tc *TraceCache) Row {
+// runRow is RunRow's internal form: tc must be non-nil. blk is the worker's
+// reusable decode block (nil: allocate per replay).
+func runRow(w workloads.Workload, o core.Options, tc *TraceCache, blk *trace.Block) Row {
 	row := Row{Benchmark: w.Name, Class: w.Class}
 	var base core.Result
 	for _, v := range core.Versions() {
-		res := core.ReplayTrace(tc.Get(w, v, o), v, o)
+		res := core.ReplayTraceBuffered(tc.Get(w, v, o), v, o, blk)
 		if v == core.Base {
 			base = res
 		}
@@ -148,8 +160,9 @@ func RunSweepCached(o core.Options, ws []workloads.Workload, workers int, tc *Tr
 		ws = workloads.All()
 	}
 	tc = tc.orNew()
-	rows := parallel.Map(workers, len(ws), func(i int) Row {
-		return runRow(ws[i], o, tc)
+	blocks := blockArena(workers)
+	rows := parallel.MapWorkers(workers, len(ws), func(wk, i int) Row {
+		return runRow(ws[i], o, tc, blocks.Get(wk))
 	})
 	return assemble(o, rows)
 }
@@ -233,6 +246,11 @@ type Table2Row struct {
 	L1MissPct    float64
 	L2MissPct    float64
 	ConflictPct  float64 // share of L1 misses that are conflict misses
+
+	// WallNanos is the host wall time of the base-run replay behind the
+	// row — nondeterministic, excluded from golden output, used by the
+	// -benchjson perf artifact for per-benchmark ns/event.
+	WallNanos int64
 }
 
 // Table2 reproduces the benchmark-characteristics table. Classification of
@@ -254,9 +272,10 @@ func Table2Cached(workers int, tc *TraceCache) []Table2Row {
 	o.Classify = true
 	ws := workloads.All()
 	tc = tc.orNew()
-	return parallel.Map(workers, len(ws), func(i int) Table2Row {
+	blocks := blockArena(workers)
+	return parallel.MapWorkers(workers, len(ws), func(wk, i int) Table2Row {
 		w := ws[i]
-		res := core.ReplayTrace(tc.Get(w, core.Base, o), core.Base, o)
+		res := core.ReplayTraceBuffered(tc.Get(w, core.Base, o), core.Base, o, blocks.Get(wk))
 		s := res.Sim
 		row := Table2Row{
 			Benchmark:    w.Name,
@@ -264,6 +283,7 @@ func Table2Cached(workers int, tc *TraceCache) []Table2Row {
 			Instructions: s.Instructions,
 			L1MissPct:    100 * s.L1.MissRate(),
 			L2MissPct:    100 * s.L2.MissRate(),
+			WallNanos:    s.WallNanos,
 		}
 		if t := s.L1Class.Total(); t > 0 {
 			row.ConflictPct = 100 * float64(s.L1Class.Conflict) / float64(t)
@@ -333,8 +353,9 @@ func table3Detail(workers int, ws []workloads.Workload, tc *TraceCache) ([]Table
 		}
 	}
 
-	rows := parallel.Map(workers, len(opts)*len(ws), func(i int) Row {
-		return runRow(ws[i%len(ws)], opts[i/len(ws)], tc)
+	blocks := blockArena(workers)
+	rows := parallel.MapWorkers(workers, len(opts)*len(ws), func(wk, i int) Row {
+		return runRow(ws[i%len(ws)], opts[i/len(ws)], tc, blocks.Get(wk))
 	})
 
 	sweeps := make([]Sweep, len(opts))

@@ -144,6 +144,10 @@ func NewTable(cfg Config) *Table {
 
 func (t *Table) macro(a mem.Addr) uint64 { return uint64(a) >> t.macroBits }
 
+// MacroShift returns log2 of the macro-block size: addr >> MacroShift() is
+// the macro-block number the table is indexed by.
+func (t *Table) MacroShift() uint { return t.macroBits }
+
 // Touch records one access to the macro-block containing a, replacing a
 // conflicting resident entry if necessary (limited table capacity is part of
 // the mechanism's imprecision).

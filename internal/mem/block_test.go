@@ -1,0 +1,70 @@
+package mem
+
+import "testing"
+
+func TestEventBlockCapacityFloor(t *testing.T) {
+	for _, n := range []int{-5, 0, 1} {
+		if got := NewEventBlock(n).Cap(); got != 1 {
+			t.Errorf("NewEventBlock(%d).Cap() = %d, want 1", n, got)
+		}
+	}
+	b := NewEventBlock(16)
+	if b.Cap() != 16 || b.Len() != 0 {
+		t.Fatalf("new block len/cap = %d/%d, want 0/16", b.Len(), b.Cap())
+	}
+	if len(b.Addr) != 16 || len(b.Size) != 16 || len(b.Write) != 16 ||
+		len(b.N) != 16 || len(b.Count) != 16 {
+		t.Fatal("column lengths disagree with capacity")
+	}
+}
+
+func TestEventBlockSetLenBounds(t *testing.T) {
+	b := NewEventBlock(4)
+	for _, n := range []int{0, 1, 4} {
+		b.SetLen(n)
+		if b.Len() != n {
+			t.Fatalf("SetLen(%d); Len() = %d", n, b.Len())
+		}
+	}
+	for _, n := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetLen(%d) did not panic", n)
+				}
+			}()
+			b.SetLen(n)
+		}()
+	}
+}
+
+func TestEventBlockEmitReference(t *testing.T) {
+	b := NewEventBlock(8)
+	// marker-on, read, folded compute run (3 × Compute(5)), write,
+	// marker-off; the remaining capacity stays outside Len.
+	b.Kind[0] = EvMarkerOn
+	b.Kind[1] = EvAccess
+	b.Addr[1], b.Size[1], b.Write[1] = 0x1000, 8, false
+	b.Kind[2] = EvCompute
+	b.N[2], b.Count[2] = 5, 3
+	b.Kind[3] = EvAccess
+	b.Addr[3], b.Size[3], b.Write[3] = 0x2000, 4, true
+	b.Kind[4] = EvMarkerOff
+	// Stale garbage beyond Len must not be replayed.
+	b.Kind[5] = EvAccess
+	b.Addr[5] = 0xdead
+	b.SetLen(5)
+
+	var c CountingEmitter
+	b.Emit(&c)
+	if c.Reads != 1 || c.Writes != 1 {
+		t.Fatalf("reads=%d writes=%d, want 1/1", c.Reads, c.Writes)
+	}
+	if c.Markers != 2 || c.OnMarkers != 1 {
+		t.Fatalf("markers=%d on=%d, want 2/1", c.Markers, c.OnMarkers)
+	}
+	// 2 access instructions + 2 marker instructions + 3 runs of Compute(5).
+	if want := uint64(2 + 2 + 3*5); c.Instructions != want {
+		t.Fatalf("instructions=%d, want %d", c.Instructions, want)
+	}
+}

@@ -37,6 +37,112 @@ type Emitter interface {
 	Marker(on bool)
 }
 
+// Event kind codes for an EventBlock's Kind column. The values match the
+// low two bits of internal/trace's packed event words, so trace decoding
+// into a block is a mask, not a translation table.
+const (
+	EvCompute   uint8 = 0
+	EvMarkerOn  uint8 = 1
+	EvMarkerOff uint8 = 2
+	EvAccess    uint8 = 3
+)
+
+// EventBlock is a fixed-capacity struct-of-arrays batch of simulated
+// events. Column i describes event i; only the columns meaningful for
+// Kind[i] hold defined values (Addr/Size/Write for EvAccess, N/Count for
+// EvCompute — producers may write the other columns too, but their contents
+// are unspecified).
+//
+// Blocks are plain reusable buffers: one per replay (or per sweep worker,
+// via parallel.Arena) is enough, and reusing one across replays is the
+// point — the batched engine never materializes a whole stream in SoA form.
+type EventBlock struct {
+	// Kind holds the event kind codes (Ev*).
+	Kind []uint8
+	// Addr, Size, Write are the access columns.
+	Addr  []Addr
+	Size  []uint8
+	Write []bool
+	// N and Count are the compute-run columns: Count[i] calls of
+	// Compute(N[i]). A folded run occupies one block slot regardless of
+	// its length.
+	N     []int32
+	Count []uint32
+
+	n int
+}
+
+// NewEventBlock returns a block with capacity for events decoded events per
+// fill. Capacities below 1 fall back to 1.
+func NewEventBlock(events int) *EventBlock {
+	if events < 1 {
+		events = 1
+	}
+	return &EventBlock{
+		Kind:  make([]uint8, events),
+		Addr:  make([]Addr, events),
+		Size:  make([]uint8, events),
+		Write: make([]bool, events),
+		N:     make([]int32, events),
+		Count: make([]uint32, events),
+	}
+}
+
+// Len reports how many events the last fill decoded into the block.
+func (b *EventBlock) Len() int { return b.n }
+
+// Cap reports the block's event capacity.
+func (b *EventBlock) Cap() int { return len(b.Kind) }
+
+// SetLen declares the first n column slots valid. Producers call it after
+// filling the columns; n must not exceed Cap.
+func (b *EventBlock) SetLen(n int) {
+	if n < 0 || n > b.Cap() {
+		panic(fmt.Sprintf("mem: SetLen(%d) outside block capacity %d", n, b.Cap()))
+	}
+	b.n = n
+}
+
+// Emit replays the block's events against a scalar emitter, in order. It is
+// the reference consumer BatchEmitter implementations are validated
+// against.
+func (b *EventBlock) Emit(em Emitter) {
+	for i := 0; i < b.n; i++ {
+		switch b.Kind[i] {
+		case EvAccess:
+			em.Access(b.Addr[i], b.Size[i], b.Write[i])
+		case EvCompute:
+			for c := uint32(0); c < b.Count[i]; c++ {
+				em.Compute(int(b.N[i]))
+			}
+		case EvMarkerOn:
+			em.Marker(true)
+		case EvMarkerOff:
+			em.Marker(false)
+		}
+	}
+}
+
+// BatchEmitter is an Emitter that additionally accepts whole columnar
+// event blocks. EmitBlock(b) is semantically identical to b.Emit(em) — the
+// same events in the same order — and implementations must produce
+// bit-identical state and statistics either way (float accumulation order
+// included).
+//
+// The block form exists purely for speed: a consumer that implements
+// BatchEmitter receives one call per block instead of one dynamic dispatch
+// per event, and can split the pure per-event math (set indices, tags, page
+// numbers) into tight columnar loops ahead of its stateful walk.
+// trace.Trace.Replay detects the interface and routes replays through it.
+type BatchEmitter interface {
+	Emitter
+
+	// EmitBlock consumes the block's events in order. The block and its
+	// columns are owned by the caller; implementations must not retain
+	// them past the call.
+	EmitBlock(b *EventBlock)
+}
+
 // CountingEmitter is a trivial Emitter that tallies events. It is useful in
 // tests and for cheap dry runs (for example, instruction counting without
 // cache simulation).

@@ -46,6 +46,22 @@ func (p capturedPanic) Error() string {
 	return fmt.Sprintf("parallel: cell %d panicked: %v", p.cell, p.value)
 }
 
+// claimChunk sizes the per-CAS claim for an n-cell sweep on w workers:
+// enough cells per claim that tiny-cell sweeps do not serialize on the
+// shared counter, while keeping at least ~8 claims per worker so load
+// stays balanced when cell costs are skewed. Bounded at 64 so one slow
+// chunk can never strand a large tail on one worker.
+func claimChunk(n, w int) int {
+	k := n / (8 * w)
+	if k < 1 {
+		return 1
+	}
+	if k > 64 {
+		return 64
+	}
+	return k
+}
+
 // Map runs fn(i) for every i in [0, n) across at most Workers(workers)
 // goroutines and returns the results ordered by index — byte-identical to
 //
@@ -55,10 +71,23 @@ func (p capturedPanic) Error() string {
 // for any pure fn. With workers <= Serial (or a single cell) it runs
 // exactly that loop on the calling goroutine: no pool, no channels.
 //
+// Workers claim cells in contiguous chunks (claimChunk cells per atomic
+// increment), so sweeps of very cheap cells are not serialized by
+// contention on the claim counter.
+//
 // If any fn panics, Map waits for the remaining in-flight cells, then
 // re-panics on the calling goroutine with the cell index attached; queued
 // cells that had not started are abandoned.
 func Map[T any](workers, n int, fn func(int) T) []T {
+	return MapWorkers(workers, n, func(_, i int) T { return fn(i) })
+}
+
+// MapWorkers is Map with the worker identity exposed: fn(w, i) computes
+// cell i on worker w, where 0 <= w < min(Workers(workers), n) and each w
+// names exactly one goroutine for the whole call. Sweeps use the identity
+// to index per-worker scratch state (Arena) without locking; the serial
+// path runs everything as worker 0.
+func MapWorkers[T any](workers, n int, fn func(worker, i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -69,11 +98,12 @@ func Map[T any](workers, n int, fn func(int) T) []T {
 	}
 	if w <= Serial {
 		for i := range out {
-			out[i] = fn(i)
+			out[i] = fn(0, i)
 		}
 		return out
 	}
 
+	chunk := claimChunk(n, w)
 	var (
 		next    atomic.Int64 // next unclaimed cell
 		failed  atomic.Bool  // a worker panicked; stop claiming cells
@@ -81,29 +111,38 @@ func Map[T any](workers, n int, fn func(int) T) []T {
 		panics  []capturedPanic
 		wg      sync.WaitGroup
 	)
-	worker := func() {
+	worker := func(id int) {
 		defer wg.Done()
 		for !failed.Load() {
-			i := int(next.Add(1) - 1)
-			if i >= n {
+			hi := int(next.Add(int64(chunk)))
+			lo := hi - chunk
+			if lo >= n {
 				return
 			}
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						failed.Store(true)
-						panicMu.Lock()
-						panics = append(panics, capturedPanic{cell: i, value: r})
-						panicMu.Unlock()
-					}
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				if failed.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							failed.Store(true)
+							panicMu.Lock()
+							panics = append(panics, capturedPanic{cell: i, value: r})
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = fn(id, i)
 				}()
-				out[i] = fn(i)
-			}()
+			}
 		}
 	}
 	wg.Add(w)
 	for i := 0; i < w; i++ {
-		go worker()
+		go worker(i)
 	}
 	wg.Wait()
 	if len(panics) > 0 {
@@ -135,7 +174,11 @@ func ForEach(workers, n int, fn func(int)) {
 // share one bounded set of simulation slots, admission can respect a
 // per-request deadline, and shutdown can drain in-flight work.
 type Pool struct {
-	sem      chan struct{}
+	// sem holds the free slot identities; admission takes one, release
+	// returns it. Slot identity (not just a count) lets tasks index
+	// per-slot state (Arena) without locking: a slot belongs to exactly
+	// one running task at a time.
+	sem      chan int
 	wg       sync.WaitGroup
 	inFlight atomic.Int64
 }
@@ -143,7 +186,12 @@ type Pool struct {
 // NewPool returns a pool admitting at most Workers(workers) concurrent
 // tasks.
 func NewPool(workers int) *Pool {
-	return &Pool{sem: make(chan struct{}, Workers(workers))}
+	n := Workers(workers)
+	sem := make(chan int, n)
+	for i := 0; i < n; i++ {
+		sem <- i
+	}
+	return &Pool{sem: sem}
 }
 
 // Size reports the pool's concurrency bound.
@@ -159,12 +207,20 @@ func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
 // indefinitely. Panics in fn propagate to the caller after the slot is
 // released.
 func (p *Pool) Do(done <-chan struct{}, fn func()) bool {
+	return p.DoSlot(done, func(int) { fn() })
+}
+
+// DoSlot is Do with the admitted slot's identity exposed: fn receives an
+// index in [0, Size()) that no other task holds while it runs, suitable
+// for indexing per-slot scratch state (Arena).
+func (p *Pool) DoSlot(done <-chan struct{}, fn func(slot int)) bool {
+	var slot int
 	select {
-	case p.sem <- struct{}{}:
+	case slot = <-p.sem:
 	default:
 		// Saturated: block on either a slot or cancellation.
 		select {
-		case p.sem <- struct{}{}:
+		case slot = <-p.sem:
 		case <-done:
 			return false
 		}
@@ -174,9 +230,9 @@ func (p *Pool) Do(done <-chan struct{}, fn func()) bool {
 	defer func() {
 		p.inFlight.Add(-1)
 		p.wg.Done()
-		<-p.sem
+		p.sem <- slot
 	}()
-	fn()
+	fn(slot)
 	return true
 }
 

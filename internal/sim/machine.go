@@ -101,6 +101,14 @@ type Machine struct {
 	invPorts   float64
 	l1Transfer float64
 	l2Transfer float64
+
+	// Batched-path state (see batch.go). The shift amounts mirror the
+	// components' own (l1/l2 block, TLB page, MAT macro-block); colBlock
+	// and colPage are the pure phase's scratch columns, allocated on first
+	// AccessBatch so scalar-only machines (the oracle, live interpretation)
+	// never pay for them.
+	l1Shift, pageShift uint
+	colBlock, colPage  []uint64
 }
 
 // NewMachine builds a machine for one run.
@@ -132,6 +140,8 @@ func NewMachine(cfg Config, opt Options) *Machine {
 		m.vc1 = cache.NewVictim(opt.L1VictimEntries, cfg.L1.Block)
 		m.vc2 = cache.NewVictim(opt.L2VictimEntries, cfg.L2.Block)
 	}
+	m.l1Shift = m.l1.BlockShift()
+	m.pageShift = m.dtlb.PageShift()
 	return m
 }
 
@@ -166,28 +176,37 @@ func (m *Machine) Marker(on bool) {
 // MLP limit on outstanding misses.
 func (m *Machine) stall(lat float64) {
 	now := m.cycles
-	// Retire completed misses and track the earliest survivor in the
-	// same pass (the first minimum, matching a left-to-right scan).
-	live := m.outstanding[:0]
+	// Retire completed misses by compacting in place, tracking the
+	// earliest survivor in the same pass (the first minimum, matching a
+	// left-to-right scan). The explicit index loop keeps the tracking
+	// list — at most MLP entries — free of slice-append bookkeeping;
+	// stall sits on every miss of every simulated access.
+	live := m.outstanding
+	out := live[:cap(live)]
+	k := 0
 	ei := -1
-	for _, t := range m.outstanding {
+	min := 0.0
+	for _, t := range live {
 		if t > now {
-			if ei < 0 || t < live[ei] {
-				ei = len(live)
+			if ei < 0 || t < min {
+				ei = k
+				min = t
 			}
-			live = append(live, t)
+			out[k] = t
+			k++
 		}
 	}
-	m.outstanding = live
-	if len(m.outstanding) >= m.cfg.MLP {
+	if k >= m.cfg.MLP {
 		// All miss-handling slots busy: wait for the earliest.
-		if earliest := m.outstanding[ei]; earliest > now {
-			now = earliest
+		if min > now {
+			now = min
 		}
-		m.outstanding = append(m.outstanding[:ei], m.outstanding[ei+1:]...)
+		copy(out[ei:k-1], out[ei+1:k])
+		k--
 	}
 	completion := now + lat
-	m.outstanding = append(m.outstanding, completion)
+	out[k] = completion
+	m.outstanding = out[:k+1]
 	if completion > m.maxCompletion {
 		m.maxCompletion = completion
 	}
@@ -197,11 +216,22 @@ func (m *Machine) stall(lat float64) {
 // Access implements mem.Emitter: one data load or store.
 func (m *Machine) Access(addr mem.Addr, size uint8, write bool) {
 	_ = size
+	m.access1(addr, write, uint64(addr)>>m.l1Shift, uint64(addr)>>m.pageShift)
+}
+
+// access1 is the stateful body of Access with the pure per-event math — the
+// L1 block and TLB page numbers — hoisted out. The scalar path computes
+// them inline above; the batched path (AccessBatch) precomputes whole
+// columns of them. Both paths run this exact code, so batched and scalar
+// replays agree bit for bit by construction.
+func (m *Machine) access1(addr mem.Addr, write bool, block, page uint64) {
 	m.instructions++
 	m.memOps++
 	m.cycles += m.invPorts
 
-	if !m.dtlb.Translate(addr) {
+	// Fast/slow probe pairs: the Fast half inlines here (see the cache and
+	// tlb packages); the Slow half is the out-of-line full set walk.
+	if !(m.dtlb.TranslateFast(page) || m.dtlb.TranslateSlow(page)) {
 		m.stall(float64(m.cfg.TLBLat))
 	}
 
@@ -222,7 +252,7 @@ func (m *Machine) Access(addr mem.Addr, size uint8, write bool) {
 		m.sldt.Observe(addr)
 	}
 
-	hit := m.l1.Lookup(addr, write)
+	hit := m.l1.LookupFast(block, write) || m.l1.LookupSlow(block, write)
 	if m.cls1 != nil {
 		m.cls1.Observe(addr, !hit)
 	}
@@ -233,7 +263,7 @@ func (m *Machine) Access(addr mem.Addr, size uint8, write bool) {
 	// L1 miss. Victim cache first (hardware mechanism = victim).
 	if m.vc1 != nil && hw {
 		if dirty, ok := m.vc1.Probe(addr); ok {
-			ev := m.l1.Fill(addr, dirty || write)
+			ev := m.l1.FillMiss(addr, dirty || write)
 			m.handleL1Evict(ev, hw)
 			m.stall(float64(m.cfg.VictimSwapLat))
 			return
@@ -247,7 +277,7 @@ func (m *Machine) Access(addr mem.Addr, size uint8, write bool) {
 	// expected).
 	if m.matT != nil && hw {
 		spatial := m.sldt.Spatial(addr)
-		victimBlock, vValid := m.l1.VictimBlock(addr)
+		way, victimBlock, vValid := m.l1.VictimWay(addr)
 		if m.matT.ShouldBypass(addr, victimBlock, vValid, spatial) {
 			// Bypassed data never enters L1. Its fetch size still
 			// adapts to the SLDT's prediction: spatially local data is
@@ -271,7 +301,7 @@ func (m *Machine) Access(addr mem.Addr, size uint8, write bool) {
 		}
 		wasL2Miss := m.l2Misses
 		lat := m.fetch(addr, false, hw)
-		ev := m.l1.Fill(addr, write)
+		ev := m.l1.FillWay(addr, way, write)
 		m.handleL1Evict(ev, hw)
 		if spatial && (m.cfg.PrefetchFromL2 || m.l2Misses > wasL2Miss) {
 			lat += m.spatialPrefetch(addr, hw)
@@ -281,7 +311,7 @@ func (m *Machine) Access(addr mem.Addr, size uint8, write bool) {
 	}
 
 	lat := m.fetch(addr, false, hw)
-	ev := m.l1.Fill(addr, write)
+	ev := m.l1.FillMiss(addr, write)
 	m.handleL1Evict(ev, hw)
 	m.stall(lat)
 }
@@ -294,7 +324,8 @@ func (m *Machine) fetch(addr mem.Addr, dword bool, hw bool) float64 {
 	if dword {
 		fill = 1
 	}
-	l2hit := m.l2.Lookup(addr, false)
+	b2 := uint64(addr) >> m.l2.BlockShift()
+	l2hit := m.l2.LookupFast(b2, false) || m.l2.LookupSlow(b2, false)
 	if m.cls2 != nil {
 		m.cls2.Observe(addr, !l2hit)
 	}
@@ -305,12 +336,12 @@ func (m *Machine) fetch(addr mem.Addr, dword bool, hw bool) float64 {
 	// L2 miss: victim cache at L2, then memory.
 	if m.vc2 != nil && hw {
 		if dirty, ok := m.vc2.Probe(addr); ok {
-			ev2 := m.l2.Fill(addr, dirty)
+			ev2 := m.l2.FillMiss(addr, dirty)
 			m.handleL2Evict(ev2, hw)
 			return float64(m.cfg.L2Lat+m.cfg.VictimSwapLat) + fill
 		}
 	}
-	ev2 := m.l2.Fill(addr, false)
+	ev2 := m.l2.FillMiss(addr, false)
 	m.handleL2Evict(ev2, hw)
 	return float64(m.cfg.L2Lat+m.cfg.MemLat) + m.l2Transfer + fill
 }
@@ -344,11 +375,11 @@ func (m *Machine) spatialPrefetch(addr mem.Addr, hw bool) float64 {
 	}
 	extra := m.l1Transfer
 	if !l2hit {
-		ev2 := m.l2.Fill(next, false)
+		ev2 := m.l2.FillMiss(next, false)
 		m.handleL2Evict(ev2, hw)
 		extra += m.l2Transfer
 	}
-	ev := m.l1.Fill(next, false)
+	ev := m.l1.FillMiss(next, false)
 	m.handleL1Evict(ev, hw)
 	return extra
 }

@@ -70,33 +70,73 @@ func New(cfg Config) *TLB {
 	}
 }
 
+// PageShift returns log2 of the page size: addr >> PageShift() is the page
+// number Translate works with. The batched replay engine precomputes page
+// columns with it.
+func (t *TLB) PageShift() uint { return t.pageBits }
+
 // Translate looks up the page containing a, filling on a miss, and reports
 // whether the lookup hit.
 func (t *TLB) Translate(a mem.Addr) bool {
+	return t.TranslatePage(uint64(a) >> t.pageBits)
+}
+
+// TranslatePage is Translate with the page number (addr >> PageShift)
+// already computed by the batched engine's pure phase. It is TranslateFast
+// composed with TranslateSlow; hot probe sites call the pair directly so
+// the fast half inlines (the composition itself exceeds the inliner's
+// budget).
+func (t *TLB) TranslatePage(page uint64) bool {
+	return t.TranslateFast(page) || t.TranslateSlow(page)
+}
+
+// TranslateFast is the MRU fast path of a translation: it charges the
+// access and resolves it with a single tag compare against the way that
+// hit last. A false return has NOT completed the translation — the caller
+// must immediately call TranslateSlow with the same page. The split exists
+// so this path, which resolves most translations (accesses cluster on the
+// current page), inlines at the probe site.
+func (t *TLB) TranslateFast(page uint64) bool {
 	t.Stats.Accesses++
 	t.clock++
-	page := uint64(a) >> t.pageBits
 	s := int(page & t.setMask)
-	base := s * t.assoc
-	// MRU fast path: one tag compare against the way that hit last.
-	if e := &t.entries[base+int(t.mru[s])]; e.valid && e.tag == page {
+	e := &t.entries[s*t.assoc+int(t.mru[s])]
+	if e.valid && e.tag == page {
 		e.stamp = t.clock
 		return true
 	}
+	return false
+}
+
+// TranslateSlow completes a translation TranslateFast declined: the full
+// set walk, filling on a miss.
+func (t *TLB) TranslateSlow(page uint64) bool {
+	s := int(page & t.setMask)
+	base := s * t.assoc
 	set := t.entries[base : base+t.assoc]
-	vi := 0
+	// One pass resolves both the hit check and the victim choice: the
+	// victim is the first invalid way, else the first minimum-stamp way.
+	inv, mi := -1, -1
 	for i := range set {
-		if set[i].valid && set[i].tag == page {
-			set[i].stamp = t.clock
+		e := &set[i]
+		if !e.valid {
+			if inv < 0 {
+				inv = i
+			}
+			continue
+		}
+		if e.tag == page {
+			e.stamp = t.clock
 			t.mru[s] = uint8(i)
 			return true
 		}
-		if !set[vi].valid {
-			continue
+		if mi < 0 || e.stamp < set[mi].stamp {
+			mi = i
 		}
-		if !set[i].valid || set[i].stamp < set[vi].stamp {
-			vi = i
-		}
+	}
+	vi := inv
+	if vi < 0 {
+		vi = mi
 	}
 	t.Stats.Misses++
 	set[vi] = entry{tag: page, stamp: t.clock, valid: true}

@@ -75,7 +75,7 @@ type Cursor struct {
 
 // Cursor returns an iterator positioned before the first event.
 func (t *Trace) Cursor() *Cursor {
-	return &Cursor{payload: t.payload}
+	return &Cursor{payload: t.wire()}
 }
 
 // Next returns the next emitter call. ok is false at the end of the

@@ -112,7 +112,15 @@ type Trace struct {
 	// Meta holds the header counters.
 	Meta Meta
 
-	payload []byte
+	// payload holds the varint wire form. Once the packed form is built
+	// (and representable), the wire form is redundant — the packing is
+	// lossless and re-encodable byte-for-byte — so ensurePacked releases
+	// it to halve the resident cost of a trace cache full of replayed
+	// streams. All payload readers must go through wire(), which runs
+	// ensurePacked first: the release happens inside the sync.Once, so
+	// every subsequent read is ordered after it.
+	payload    []byte
+	payloadLen int
 
 	// Packed replay form, built lazily on first Replay. The experiment
 	// sweeps replay each cached stream once per machine configuration, so
@@ -129,8 +137,8 @@ func (t *Trace) EncodedSize() int {
 	return len(magic) + uvarintLen(t.Meta.Events) + uvarintLen(t.Meta.Accesses) +
 		uvarintLen(t.Meta.Reads) + uvarintLen(t.Meta.ComputeInstr) +
 		uvarintLen(t.Meta.ComputeCalls) + uvarintLen(t.Meta.Markers) +
-		uvarintLen(t.Meta.OnMarkers) + uvarintLen(uint64(len(t.payload))) +
-		len(t.payload)
+		uvarintLen(t.Meta.OnMarkers) + uvarintLen(uint64(t.payloadLen)) +
+		t.payloadLen
 }
 
 func uvarintLen(v uint64) int {
@@ -225,7 +233,7 @@ func (r *Recorder) Trace() *Trace {
 	r.flushCompute()
 	payload := make([]byte, len(r.buf))
 	copy(payload, r.buf)
-	return &Trace{Meta: r.meta, payload: payload}
+	return &Trace{Meta: r.meta, payload: payload, payloadLen: len(payload)}
 }
 
 // Packed replay form: one uint64 per encoded event, varints resolved and
@@ -284,14 +292,93 @@ func (t *Trace) pack() ([]uint64, bool) {
 	return words, true
 }
 
+// ensurePacked builds the packed replay form once and reports whether the
+// stream is representable in it. When the packed form re-encodes the
+// payload byte-for-byte (always true for recorder-produced streams, whose
+// varints are minimal), the varint payload is released — keeping both
+// would double a replayed stream's resident size. Decoded streams with
+// non-minimal varints pack fine but keep their original bytes so
+// WriteTo/Encode stay exact. The release happens inside the Once, so every
+// payload reader that calls ensurePacked first observes it safely.
+func (t *Trace) ensurePacked() bool {
+	t.packOnce.Do(func() {
+		t.packed, t.packOK = t.pack()
+		if t.packOK && bytes.Equal(t.rebuildWire(), t.payload) {
+			t.payload = nil
+		}
+	})
+	return t.packOK
+}
+
+// wire returns the varint wire form of the payload, rebuilding it from the
+// packed form when the original was released. Cold path: replay never
+// touches it once a stream packs; only encoding (WriteTo) and event-level
+// iteration (Cursor) do.
+func (t *Trace) wire() []byte {
+	if t.ensurePacked() && t.payload == nil {
+		return t.rebuildWire()
+	}
+	return t.payload
+}
+
+// rebuildWire re-encodes the packed words into the exact payload bytes the
+// recorder produced: packing is 1:1 per encoded event, delta encoding is
+// deterministic, and both encoders emit minimal varints.
+func (t *Trace) rebuildWire() []byte {
+	buf := make([]byte, 0, t.payloadLen)
+	var prev mem.Addr
+	for _, w := range t.packed {
+		switch w & 0x03 {
+		case kindAccess:
+			addr := mem.Addr(w >> packAddrShift)
+			buf = append(buf, byte(w))
+			buf = binary.AppendVarint(buf, int64(addr)-int64(prev))
+			prev = addr
+		case kindCompute:
+			buf = append(buf, kindCompute)
+			buf = binary.AppendUvarint(buf, w>>packNShift&maxPackN)
+			buf = binary.AppendUvarint(buf, w>>packCountShift)
+		default:
+			buf = append(buf, byte(w))
+		}
+	}
+	return buf
+}
+
 // Replay drives em with the recorded call sequence: the same calls, the
 // same arguments, the same order as the run that was captured.
+//
+// Consumers implementing mem.BatchEmitter are driven through the columnar
+// batched path (block-decoded SoA event batches, one call per run of
+// homogeneous events) whenever the stream packs; the call sequence is
+// semantically identical and implementations guarantee bit-identical
+// state. ReplayScalar forces the event-at-a-time path.
 func (t *Trace) Replay(em mem.Emitter) {
-	t.packOnce.Do(func() { t.packed, t.packOK = t.pack() })
-	if !t.packOK {
+	if !t.ensurePacked() {
 		t.replayWire(em)
 		return
 	}
+	if be, ok := em.(mem.BatchEmitter); ok {
+		t.ReplayBatched(be, nil)
+		return
+	}
+	t.replayPacked(em)
+}
+
+// ReplayScalar replays one emitter call at a time, never batching — the
+// reference path the batched engine is validated against, and the one
+// consumers with per-event instrumentation (the differential oracle) get
+// implicitly by not implementing mem.BatchEmitter.
+func (t *Trace) ReplayScalar(em mem.Emitter) {
+	if !t.ensurePacked() {
+		t.replayWire(em)
+		return
+	}
+	t.replayPacked(em)
+}
+
+// replayPacked is the scalar walk over the packed words.
+func (t *Trace) replayPacked(em mem.Emitter) {
 	for _, w := range t.packed {
 		switch w & 0x03 {
 		case kindAccess:
@@ -314,7 +401,7 @@ func (t *Trace) Replay(em mem.Emitter) {
 // the packed form cannot represent.
 func (t *Trace) replayWire(em mem.Emitter) {
 	var prev mem.Addr
-	p := t.payload
+	p := t.wire()
 	for len(p) > 0 {
 		tag := p[0]
 		p = p[1:]
@@ -413,6 +500,7 @@ func validate(meta Meta, payload []byte) error {
 
 // WriteTo implements io.WriterTo, emitting the encoded trace.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	payload := t.wire()
 	hdr := make([]byte, 0, len(magic)+10*8)
 	hdr = append(hdr, magic...)
 	hdr = binary.AppendUvarint(hdr, t.Meta.Events)
@@ -422,12 +510,12 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	hdr = binary.AppendUvarint(hdr, t.Meta.ComputeCalls)
 	hdr = binary.AppendUvarint(hdr, t.Meta.Markers)
 	hdr = binary.AppendUvarint(hdr, t.Meta.OnMarkers)
-	hdr = binary.AppendUvarint(hdr, uint64(len(t.payload)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
 	n1, err := w.Write(hdr)
 	if err != nil {
 		return int64(n1), err
 	}
-	n2, err := w.Write(t.payload)
+	n2, err := w.Write(payload)
 	return int64(n1) + int64(n2), err
 }
 
@@ -485,7 +573,7 @@ func ReadFrom(r io.Reader) (*Trace, error) {
 	if err := validate(meta, payload); err != nil {
 		return nil, err
 	}
-	return &Trace{Meta: meta, payload: payload}, nil
+	return &Trace{Meta: meta, payload: payload, payloadLen: len(payload)}, nil
 }
 
 // Decode decodes and validates an in-memory encoded trace.
