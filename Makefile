@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke validate-smoke validate tier1
+.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke validate-smoke validate corpus corpus-smoke tier1
 
-check: vet build race bench-smoke serve-smoke cluster-smoke validate-smoke fuzz-smoke
+check: vet build race bench-smoke serve-smoke cluster-smoke validate-smoke corpus-smoke fuzz-smoke
 
 # tier1 is the fast gate the roadmap requires of every change.
 tier1:
@@ -72,9 +72,24 @@ validate-smoke:
 validate:
 	$(GO) run ./cmd/validate
 
+# The full generative corpus: 1000+ fingerprint-distinct kernels from all
+# 81 synth families, swept across every version, 32 kernels
+# oracle-spot-checked (docs/CORPUS.md).
+corpus:
+	$(GO) run ./cmd/corpus -n 1000 -sample 32 -out /tmp/corpus.json
+
+# CI smoke: regenerate the committed smoke artifact from its own recorded
+# parameters and require byte equality — synthesis, sweep, profiles and
+# oracle verdicts must all be deterministic. Regenerate the artifact after
+# an intended change with:
+#   go run ./cmd/corpus -n 96 -sample 8 -out CORPUS_smoke.json
+corpus-smoke:
+	$(GO) run ./cmd/corpus -verify CORPUS_smoke.json
+
 # 30 seconds of each fuzz target: enough to shake out codec and
 # marker-elimination regressions on fresh inputs without stalling the
 # gate. Longer campaigns: go test ./internal/trace -fuzz FuzzTraceRoundTrip
 fuzz-smoke:
 	$(GO) test ./internal/trace -fuzz FuzzTraceRoundTrip -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/regions -fuzz FuzzMarkerBalance -fuzztime 30s -run '^$$'
+	$(GO) test ./internal/oracle -fuzz FuzzSynthOracleEquivalence -fuzztime 20s -run '^$$'

@@ -1,0 +1,209 @@
+// Command corpus synthesizes a parametric kernel corpus
+// (internal/workloads/synth), sweeps every kernel through all five
+// simulated versions on the worker pool, lockstep-checks a deterministic
+// sample against the differential oracle, and emits per-class locality
+// profiles as a selcache-corpus/v1 artifact.
+//
+//	corpus                       # 1000 distinct kernels over all 81 families
+//	corpus -n 96 -sample 8 -out CORPUS_smoke.json
+//	corpus -families deep/irregular/large/spread -n 40
+//	corpus -list                 # enumerate the family names
+//	corpus -verify CORPUS_smoke.json   # regenerate from the artifact's own
+//	                                   # parameters and require byte equality
+//
+// Everything the artifact records is deterministic, so two runs with the
+// same parameters produce byte-identical files; -verify exploits that to
+// turn a committed artifact into a regression gate. Exit status is
+// non-zero on any oracle divergence or verification mismatch.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"selcache/internal/core"
+	"selcache/internal/corpus"
+	"selcache/internal/report"
+	"selcache/internal/sim"
+	"selcache/internal/workloads/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "corpus: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("corpus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 1000, "fingerprint-distinct kernels to synthesize")
+	familiesFlag := fs.String("families", "", "comma-separated family subset (default: all 81)")
+	seed := fs.Uint64("seed", 1, "base seed the per-family seed sequences start at")
+	mech := fs.String("mech", "bypass", "hardware mechanism for the sweep: bypass|victim")
+	sample := fs.Int("sample", 32, "kernels to lockstep-check against the differential oracle")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = one per CPU)")
+	out := fs.String("out", "", "write the corpus-profile artifact (JSON) to this path")
+	list := fs.Bool("list", false, "list the family names, without running")
+	verify := fs.String("verify", "", "regenerate from this artifact's parameters and require byte equality")
+	verbose := fs.Bool("v", false, "print every synthesized kernel and spot-check cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	if *list {
+		for _, f := range synth.Families() {
+			fmt.Fprintln(stdout, f.Name())
+		}
+		return nil
+	}
+	if *verify != "" {
+		return verifyArtifact(*verify, *workers, stdout)
+	}
+
+	fams, err := selectFamilies(*familiesFlag)
+	if err != nil {
+		return err
+	}
+	o := core.DefaultOptions()
+	if o.Mechanism, err = selectMechanism(*mech); err != nil {
+		return err
+	}
+	spec := corpus.Spec{Families: fams, N: *n, BaseSeed: *seed}
+	art, err := execute(spec, *sample, o, *workers, stdout, stderr, *verbose)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := art.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
+	}
+	if art.OracleDivergences > 0 {
+		return fmt.Errorf("%d of %d oracle spot checks diverged", art.OracleDivergences, art.OracleSample)
+	}
+	return nil
+}
+
+// execute runs the synthesize → sweep → spot-check → aggregate pipeline and
+// returns the assembled artifact. Progress and timing go to stderr so
+// stdout stays deterministic.
+func execute(spec corpus.Spec, sample int, o core.Options, workers int, stdout, stderr io.Writer, verbose bool) (*report.CorpusJSON, error) {
+	start := time.Now()
+	kernels, st, err := corpus.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "corpus: %d distinct kernels from %d families (%d draws, %d duplicates)\n",
+		len(kernels), len(spec.Families), st.Generated, st.Duplicates)
+	if verbose {
+		for _, k := range kernels {
+			fmt.Fprintf(stdout, "  %s  %s\n", k.Fingerprint[:12], k.Name())
+		}
+	}
+
+	rows := corpus.Sweep(kernels, o, workers)
+	checks := corpus.SpotCheck(kernels, sample, o, workers)
+	for _, c := range checks {
+		if c.Err != nil {
+			fmt.Fprintf(stdout, "FAIL oracle %s\n     %v\n", c.Name(), c.Err)
+		} else if verbose {
+			fmt.Fprintf(stdout, "ok   oracle %s\n", c.Name())
+		}
+	}
+
+	art := corpus.Artifact(spec, st, kernels, rows, checks, o)
+	fmt.Fprintf(stdout, "corpus: swept %d versions/kernel, %d events; oracle %d/%d clean; %d class profiles\n",
+		core.NumVersions, corpus.Events(rows), len(checks)-art.OracleDivergences, len(checks), len(art.Profiles))
+	fmt.Fprintf(stdout, "corpus: fingerprint %s\n", art.CorpusFingerprint)
+	fmt.Fprintf(stderr, "corpus: %.1fs\n", time.Since(start).Seconds())
+	return art, nil
+}
+
+// verifyArtifact reruns the pipeline from the committed artifact's own
+// recorded parameters and requires the regenerated artifact to be
+// byte-identical — the determinism regression gate behind `make
+// corpus-smoke`.
+func verifyArtifact(path string, workers int, stdout io.Writer) error {
+	want, err := report.LoadCorpusJSON(path)
+	if err != nil {
+		return err
+	}
+	fams := make([]synth.Family, len(want.Families))
+	for i, name := range want.Families {
+		f, ok := synth.FamilyByName(name)
+		if !ok {
+			return fmt.Errorf("%s: unknown family %q", path, name)
+		}
+		fams[i] = f
+	}
+	o := core.DefaultOptions()
+	if o.Mechanism, err = selectMechanism(want.Mechanism); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if o.Machine.Name != want.Machine {
+		return fmt.Errorf("%s: artifact machine %q, tool simulates %q", path, want.Machine, o.Machine.Name)
+	}
+	spec := corpus.Spec{Families: fams, N: want.Requested, BaseSeed: want.BaseSeed}
+	kernels, st, err := corpus.Build(spec)
+	if err != nil {
+		return err
+	}
+	rows := corpus.Sweep(kernels, o, workers)
+	checks := corpus.SpotCheck(kernels, want.OracleSample, o, workers)
+	got := corpus.Artifact(spec, st, kernels, rows, checks, o)
+
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		return err
+	}
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		return fmt.Errorf("%s: regenerated artifact differs from committed file (same parameters must be byte-identical; regenerate with -out if the change is intended)", path)
+	}
+	fmt.Fprintf(stdout, "verify %s: %d kernels, oracle %d/%d clean, artifact regenerates byte-identically\n",
+		path, got.Kernels, got.OracleSample-got.OracleDivergences, got.OracleSample)
+	if got.OracleDivergences > 0 {
+		return fmt.Errorf("%d oracle spot checks diverged", got.OracleDivergences)
+	}
+	return nil
+}
+
+func selectFamilies(csv string) ([]synth.Family, error) {
+	if csv == "" {
+		return synth.Families(), nil
+	}
+	var out []synth.Family
+	for _, name := range strings.Split(csv, ",") {
+		f, ok := synth.FamilyByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown family %q (see -list)", name)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func selectMechanism(s string) (sim.HWKind, error) {
+	switch s {
+	case "bypass":
+		return sim.HWBypass, nil
+	case "victim":
+		return sim.HWVictim, nil
+	}
+	return sim.HWNone, fmt.Errorf("unknown mechanism %q (want bypass|victim)", s)
+}

@@ -1,6 +1,7 @@
 package irgen
 
 import (
+	"strings"
 	"testing"
 
 	"selcache/internal/loopir"
@@ -53,6 +54,161 @@ func TestOpaqueMix(t *testing.T) {
 	for _, s := range loopir.Stmts(Program(7, cfg).Body) {
 		if s.Opaque() {
 			t.Fatal("OpaquePercent=0 produced opaque statements")
+		}
+	}
+}
+
+// TestGenerateRejectsDegenerateConfigs is the hardening gate: every
+// degenerate parameter must produce a descriptive error from Generate (and
+// a panic from the historical Program entry point), never a runtime panic
+// deep in generation or a silently empty program.
+func TestGenerateRejectsDegenerateConfigs(t *testing.T) {
+	base := Default()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero top-level", func(c *Config) { c.MaxTopLevel = 0 }, "MaxTopLevel"},
+		{"negative top-level", func(c *Config) { c.MaxTopLevel = -3 }, "MaxTopLevel"},
+		{"zero depth", func(c *Config) { c.MaxDepth = 0 }, "depth range"},
+		{"negative depth", func(c *Config) { c.MaxDepth = -1 }, "depth range"},
+		{"negative min depth", func(c *Config) { c.MinDepth = -2 }, "MinDepth"},
+		{"inverted depth range", func(c *Config) { c.MinDepth = 3; c.MaxDepth = 2 }, "depth range"},
+		{"zero extent", func(c *Config) { c.MaxExtent = 0 }, "extent range"},
+		{"negative extent", func(c *Config) { c.MaxExtent = -5 }, "extent range"},
+		{"one-trip extent", func(c *Config) { c.MinExtent = 1; c.MaxExtent = 1 }, "MinExtent"},
+		{"empty extent range", func(c *Config) { c.MinExtent = 6; c.MaxExtent = 5 }, "extent range"},
+		{"no arrays", func(c *Config) { c.Arrays = 0 }, "Arrays"},
+		{"negative arrays", func(c *Config) { c.Arrays = -1 }, "Arrays"},
+		{"opaque percent over 100", func(c *Config) { c.OpaquePercent = 101 }, "OpaquePercent"},
+		{"negative opaque percent", func(c *Config) { c.OpaquePercent = -1 }, "OpaquePercent"},
+		{"negative stride", func(c *Config) { c.StrideMax = -2 }, "StrideMax"},
+		{"array extent below trip count", func(c *Config) { c.ArrayExtent = 9 }, "ArrayExtent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			p, err := Generate(1, cfg)
+			if err == nil {
+				t.Fatalf("Generate accepted degenerate config %+v", cfg)
+			}
+			if p != nil {
+				t.Fatalf("Generate returned both a program and an error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Program did not panic on degenerate config")
+				}
+			}()
+			Program(1, cfg)
+		})
+	}
+}
+
+// TestGenerateNeverEmpty: every accepted configuration yields a program
+// that emits at least one access.
+func TestGenerateNeverEmpty(t *testing.T) {
+	cfgs := []Config{
+		Default(),
+		{MaxTopLevel: 1, MaxDepth: 1, MaxExtent: 2, Arrays: 1},
+		{MaxTopLevel: 2, MinDepth: 4, MaxDepth: 4, MinExtent: 2, MaxExtent: 3, Arrays: 2, OpaquePercent: 100},
+		{MaxTopLevel: 3, MaxDepth: 2, MaxExtent: 8, Arrays: 2, ArrayExtent: 64, Spread: true},
+	}
+	for ci, cfg := range cfgs {
+		for seed := uint64(1); seed <= 20; seed++ {
+			p, err := Generate(seed, cfg)
+			if err != nil {
+				t.Fatalf("config %d seed %d: %v", ci, seed, err)
+			}
+			var c mem.CountingEmitter
+			loopir.Run(p, &c)
+			if c.Accesses() == 0 {
+				t.Fatalf("config %d seed %d: program emits no accesses", ci, seed)
+			}
+		}
+	}
+}
+
+// TestDepthBounds: MinDepth/MaxDepth are honored by every nest.
+func TestDepthBounds(t *testing.T) {
+	cfg := Default()
+	cfg.MinDepth = 3
+	cfg.MaxDepth = 4
+	for seed := uint64(1); seed <= 30; seed++ {
+		p := Program(seed, cfg)
+		for _, top := range p.Body {
+			depth, n := 0, top
+			for {
+				l, ok := n.(*loopir.Loop)
+				if !ok {
+					break
+				}
+				depth++
+				n = l.Body[0]
+			}
+			if depth < cfg.MinDepth || depth > cfg.MaxDepth {
+				t.Fatalf("seed %d: nest depth %d outside [%d, %d]", seed, depth, cfg.MinDepth, cfg.MaxDepth)
+			}
+		}
+	}
+}
+
+// TestStrideAndSpreadStayInBounds runs strided and spread configurations
+// through the interpreter for many seeds: every generated subscript must
+// stay inside its array (Addr panics out of bounds), and the stride knobs
+// must actually produce non-unit coefficients somewhere.
+func TestStrideAndSpreadStayInBounds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"strided", Config{MaxTopLevel: 3, MaxDepth: 3, MaxExtent: 8, Arrays: 3, ArrayExtent: 72, StrideMax: 8}},
+		{"spread", Config{MaxTopLevel: 3, MaxDepth: 3, MaxExtent: 8, Arrays: 3, ArrayExtent: 256, Spread: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sawWide := false
+			for seed := uint64(1); seed <= 50; seed++ {
+				p := Program(seed, tc.cfg)
+				var c mem.CountingEmitter
+				loopir.Run(p, &c) // panics if any subscript leaves the array
+				for _, r := range loopir.Refs(p.Body) {
+					for _, e := range r.Subs {
+						for _, term := range e.Terms {
+							if term.Coeff > 1 {
+								sawWide = true
+							}
+							if term.Coeff < 1 {
+								t.Fatalf("seed %d: non-positive coefficient %d", seed, term.Coeff)
+							}
+						}
+					}
+				}
+			}
+			if !sawWide {
+				t.Fatalf("%s config never produced a coefficient > 1", tc.name)
+			}
+		})
+	}
+}
+
+// TestArrayExtentFixesDims: the footprint knob pins every array dimension.
+func TestArrayExtentFixesDims(t *testing.T) {
+	cfg := Default()
+	cfg.ArrayExtent = 40
+	p := Program(3, cfg)
+	for _, r := range loopir.Refs(p.Body) {
+		if r.Array == nil {
+			continue
+		}
+		for _, d := range r.Array.Dims {
+			if d != 40 {
+				t.Fatalf("array %s dim %d, want 40", r.Array.Name, d)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"selcache/internal/loopir/irgen"
 	"selcache/internal/sim"
 	"selcache/internal/trace"
+	"selcache/internal/workloads/synth"
 )
 
 // FuzzOracleEquivalence is the differential fuzzer: every input picks a
@@ -52,6 +53,54 @@ func FuzzOracleEquivalence(f *testing.F) {
 		loopir.Run(prog, s)
 		if _, err := s.Finish(); err != nil {
 			t.Fatalf("seed %d %s/%s: %v", seed, version, o.Mechanism, err)
+		}
+	})
+}
+
+// FuzzSynthOracleEquivalence fuzzes the same two equivalence layers over
+// the parametric corpus families (internal/workloads/synth) instead of
+// raw irgen defaults: each input picks a family from the 81-tuple class
+// space, a seed within it, and one version × mechanism cell. The family
+// axes steer generation into the corners the default config rarely
+// reaches — deep nests, opaque-heavy mixes, past-L2 footprints, spread
+// strides — and the kernel's content fingerprint is re-checked against a
+// fresh Build, so corpus determinism is fuzzed alongside the machines.
+func FuzzSynthOracleEquivalence(f *testing.F) {
+	fams := synth.Families()
+	for fi := 0; fi < len(fams); fi += 17 {
+		for seed := uint64(1); seed <= 2; seed++ {
+			f.Add(uint16(fi), seed, uint8(fi+int(seed)))
+		}
+	}
+	f.Add(uint16(80), uint64(0xDEADBEEF), uint8(0x84)) // deepest family, victim, selective
+	f.Fuzz(func(t *testing.T, famIdx uint16, seed uint64, pick uint8) {
+		fam := fams[int(famIdx)%len(fams)]
+		k := synth.MustMake(fam, seed)
+		if got := synth.Fingerprint(k.Build()); got != k.Fingerprint {
+			t.Fatalf("%s: Build does not reproduce the fingerprint: %s vs %s", k.Name(), got, k.Fingerprint)
+		}
+
+		// Layer 1: compiled vs tree-walking interpreter.
+		fast := trace.NewRecorder()
+		loopir.Run(k.Build(), fast)
+		ref := trace.NewRecorder()
+		loopir.RunReference(k.Build(), ref)
+		if idx, ea, eb, diverged := trace.FirstDivergence(fast.Trace(), ref.Trace()); diverged {
+			t.Fatalf("%s: interpreters diverge at event %d: compiled %s, reference %s", k.Name(), idx, ea, eb)
+		}
+
+		// Layer 2: optimized machine vs reference machine, one matrix cell.
+		version := core.Versions()[int(pick)%core.NumVersions]
+		o := core.DefaultOptions()
+		if pick&0x80 != 0 {
+			o.Mechanism = sim.HWVictim
+		}
+		prog, _, _ := core.Prepare(k.Build, version, o)
+		s := NewShadow(o.Machine, core.SimOptions(version, o))
+		s.CheckEvery = 512
+		loopir.Run(prog, s)
+		if _, err := s.Finish(); err != nil {
+			t.Fatalf("%s %s/%s: %v", k.Name(), version, o.Mechanism, err)
 		}
 	})
 }

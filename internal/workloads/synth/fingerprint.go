@@ -1,0 +1,111 @@
+package synth
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// CanonicalVersion tags the canonical-IR rendering. Bump it on any change
+// to the rendering below: fingerprints are content addresses, and two
+// releases must never hash different renderings under the same tag.
+const CanonicalVersion = "selcache-canonical/v1"
+
+// Canonical renders a program into the canonical byte form fingerprints
+// are computed over. The rendering covers everything that determines the
+// program's event stream:
+//
+//   - the array table (name, element size, logical dims, dimension order,
+//     padding, and base address in the simulated space), sorted by name;
+//   - the loop tree (induction variable, bounds, cap, step);
+//   - every statement: name (opaque statements encode their closure
+//     parameters in the name — see irgen), compute cost, and each
+//     reference's class, direction, target, and subscript expressions.
+//
+// Two programs with equal canonical bytes produce identical event streams;
+// the converse does not hold (e.g. differing array padding that never
+// changes an address), which is fine for a content address.
+func Canonical(p *loopir.Program) []byte {
+	var b strings.Builder
+	b.WriteString(CanonicalVersion)
+	b.WriteByte('\n')
+
+	byName := make(map[string]*mem.Array)
+	for _, r := range loopir.Refs(p.Body) {
+		if r.Array != nil {
+			byName[r.Array.Name] = r.Array
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := byName[n]
+		fmt.Fprintf(&b, "array %s elem=%d dims=%v order=%v pad=%d base=%d\n",
+			a.Name, a.Elem, a.Dims, a.Order(), a.Pad, a.Base)
+	}
+	canonBody(&b, p.Body, 0)
+	return []byte(b.String())
+}
+
+func canonBody(b *strings.Builder, body []loopir.Node, depth int) {
+	ind := strings.Repeat(" ", depth)
+	for _, n := range body {
+		switch n := n.(type) {
+		case *loopir.Loop:
+			fmt.Fprintf(b, "%sfor %s=%s..%s", ind, n.Var, n.Lo.String(), n.Hi.String())
+			if n.Cap != nil {
+				fmt.Fprintf(b, " cap=%s", n.Cap.String())
+			}
+			fmt.Fprintf(b, " step=%d\n", n.Step)
+			canonBody(b, n.Body, depth+1)
+		case *loopir.Stmt:
+			fmt.Fprintf(b, "%sstmt %s compute=%d", ind, n.Name, n.Compute)
+			for _, r := range n.Refs {
+				b.WriteByte(' ')
+				b.WriteString(canonRef(r))
+			}
+			b.WriteByte('\n')
+		case *loopir.Marker:
+			fmt.Fprintf(b, "%smarker on=%v\n", ind, n.On)
+		}
+	}
+}
+
+// canonRef renders one reference: class, direction, target, subscripts.
+func canonRef(r loopir.Ref) string {
+	dir := "r"
+	if r.Write {
+		dir = "w"
+	}
+	target := "?"
+	switch {
+	case r.Scalar != nil:
+		target = "$" + r.Scalar.Name
+	case r.Array != nil:
+		target = r.Array.Name
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%s:%s", dir, r.Class, target)
+	for _, s := range r.Subs {
+		fmt.Fprintf(&b, "[%s]", s.String())
+	}
+	if r.Hoisted {
+		b.WriteString(":hoisted")
+	}
+	return b.String()
+}
+
+// Fingerprint is the kernel's content address: the hex SHA-256 of its
+// canonical rendering.
+func Fingerprint(p *loopir.Program) string {
+	sum := sha256.Sum256(Canonical(p))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,383 @@
+// Package synth is the generative workload corpus: parametric, seeded
+// kernel families layered on the random program generator
+// (internal/loopir/irgen). Where internal/workloads reproduces the paper's
+// 13 fixed benchmarks, synth spans a four-axis class space — loop depth,
+// affine-vs-irregular statement mix, array footprint, and subscript stride
+// — and synthesizes arbitrarily many kernels per class, each carrying a
+// declared class tuple and a stable content fingerprint (SHA-256 of the
+// canonicalized IR, see fingerprint.go).
+//
+// Reproducibility is the contract: a kernel is fully determined by its
+// (family, seed) pair, byte for byte, including simulated array addresses.
+// A fingerprint reported by one run can therefore be re-synthesized
+// anywhere from the (family, seed) printed beside it, which is what turns
+// one-off fuzzing into a durable regression and experiment surface
+// (docs/CORPUS.md).
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"selcache/internal/loopir"
+	"selcache/internal/loopir/irgen"
+)
+
+// DepthClass buckets kernels by loop-nest depth.
+type DepthClass int
+
+const (
+	// DepthShallow is 1-2 loops deep (streaming and simple stencils).
+	DepthShallow DepthClass = iota
+	// DepthMedium is 2-3 loops deep (the paper's typical kernels).
+	DepthMedium
+	// DepthDeep is 3-4 loops deep (tiling- and interchange-sensitive).
+	DepthDeep
+)
+
+// NumDepthClasses is the number of depth classes.
+const NumDepthClasses = int(DepthDeep) + 1
+
+// String returns the class name used in family names and reports.
+func (d DepthClass) String() string {
+	switch d {
+	case DepthShallow:
+		return "shallow"
+	case DepthMedium:
+		return "medium"
+	case DepthDeep:
+		return "deep"
+	default:
+		return fmt.Sprintf("DepthClass(%d)", int(d))
+	}
+}
+
+// MixClass buckets kernels by their affine-vs-irregular statement mix —
+// the axis the paper's region detection discriminates on.
+type MixClass int
+
+const (
+	// MixAffine is fully analyzable: no opaque statements.
+	MixAffine MixClass = iota
+	// MixMostly leans analyzable with occasional opaque statements
+	// (the paper's "mixed" codes).
+	MixMostly
+	// MixIrregular is dominated by opaque, non-analyzable statements.
+	MixIrregular
+)
+
+// NumMixClasses is the number of mix classes.
+const NumMixClasses = int(MixIrregular) + 1
+
+// String returns the class name.
+func (m MixClass) String() string {
+	switch m {
+	case MixAffine:
+		return "affine"
+	case MixMostly:
+		return "mostly-affine"
+	case MixIrregular:
+		return "irregular"
+	default:
+		return fmt.Sprintf("MixClass(%d)", int(m))
+	}
+}
+
+// opaquePercent maps the mix class to the generator's opaque-statement
+// probability.
+func (m MixClass) opaquePercent() int {
+	switch m {
+	case MixAffine:
+		return 0
+	case MixMostly:
+		return 25
+	default:
+		return 65
+	}
+}
+
+// FootprintClass buckets kernels by the total bytes their arrays allocate
+// in the simulated address space, relative to the base machine's caches
+// (sim.Base: 32 KB L1, 512 KB L2).
+type FootprintClass int
+
+const (
+	// FootSmall fits comfortably in the L1 cache.
+	FootSmall FootprintClass = iota
+	// FootMedium exceeds the L1 but fits in the L2.
+	FootMedium
+	// FootLarge exceeds the L2.
+	FootLarge
+)
+
+// NumFootprintClasses is the number of footprint classes.
+const NumFootprintClasses = int(FootLarge) + 1
+
+// String returns the class name.
+func (f FootprintClass) String() string {
+	switch f {
+	case FootSmall:
+		return "small"
+	case FootMedium:
+		return "medium"
+	case FootLarge:
+		return "large"
+	default:
+		return fmt.Sprintf("FootprintClass(%d)", int(f))
+	}
+}
+
+// arrayExtent maps the footprint class to the per-dimension array extent.
+// Arrays are 2-D with 8-byte elements and every family uses 4 of them, so
+// the total allocated footprint is 4*extent²*8 bytes: ~21.6 KB (small,
+// under the 32 KB L1), ~166 KB (medium, between L1 and the 512 KB L2), and
+// ~2.65 MB (large, past the L2).
+func (f FootprintClass) arrayExtent() int {
+	switch f {
+	case FootSmall:
+		return 26
+	case FootMedium:
+		return 72
+	default:
+		return 288
+	}
+}
+
+// StrideClass buckets kernels by subscript coefficient policy.
+type StrideClass int
+
+const (
+	// StrideUnit uses unit coefficients (dense row traversals).
+	StrideUnit StrideClass = iota
+	// StrideSmall draws coefficients in [1, 8] (strided but
+	// block-reusing traversals).
+	StrideSmall
+	// StrideSpread scales coefficients to span the whole array
+	// dimension, so even short loops roam the full footprint (the
+	// conflict- and TLB-hostile end of the axis).
+	StrideSpread
+)
+
+// NumStrideClasses is the number of stride classes.
+const NumStrideClasses = int(StrideSpread) + 1
+
+// String returns the class name.
+func (s StrideClass) String() string {
+	switch s {
+	case StrideUnit:
+		return "unit"
+	case StrideSmall:
+		return "strided"
+	case StrideSpread:
+		return "spread"
+	default:
+		return fmt.Sprintf("StrideClass(%d)", int(s))
+	}
+}
+
+// Class is a kernel's declared position in the four-axis family space.
+type Class struct {
+	Depth     DepthClass
+	Mix       MixClass
+	Footprint FootprintClass
+	Stride    StrideClass
+}
+
+// String renders the class tuple as the canonical family name,
+// e.g. "deep/affine/large/unit".
+func (c Class) String() string {
+	return c.Depth.String() + "/" + c.Mix.String() + "/" + c.Footprint.String() + "/" + c.Stride.String()
+}
+
+// Family is one seeded kernel family: a class tuple plus the generator
+// configuration derived from it. Kernels are drawn from a family with
+// Make(family, seed).
+type Family struct {
+	Class Class
+}
+
+// Name returns the family's canonical name (its class tuple).
+func (f Family) Name() string { return f.Class.String() }
+
+// Config derives the irgen configuration the family generates under. Loop
+// extents shrink as depth grows so every nest stays within a comparable
+// iteration budget (a few thousand iterations), keeping per-kernel
+// simulation cost roughly uniform across the corpus.
+func (f Family) Config() irgen.Config {
+	cfg := irgen.Config{
+		MaxTopLevel:   3,
+		Arrays:        4,
+		OpaquePercent: f.Class.Mix.opaquePercent(),
+		ArrayExtent:   f.Class.Footprint.arrayExtent(),
+	}
+	switch f.Class.Depth {
+	case DepthShallow:
+		cfg.MinDepth, cfg.MaxDepth = 1, 2
+		cfg.MinExtent, cfg.MaxExtent = 8, 24
+	case DepthMedium:
+		cfg.MinDepth, cfg.MaxDepth = 2, 3
+		cfg.MinExtent, cfg.MaxExtent = 4, 12
+	default:
+		cfg.MinDepth, cfg.MaxDepth = 3, 4
+		cfg.MinExtent, cfg.MaxExtent = 3, 6
+	}
+	switch f.Class.Stride {
+	case StrideUnit:
+		cfg.StrideMax = 1
+	case StrideSmall:
+		cfg.StrideMax = 8
+	default:
+		cfg.Spread = true
+	}
+	return cfg
+}
+
+// Families enumerates the full 3×3×3×3 = 81-family space in a fixed,
+// documented order: depth-major, then mix, footprint, stride. The order is
+// load-bearing — corpus synthesis round-robins seeds across it, so it must
+// never depend on map iteration or any other nondeterministic source.
+func Families() []Family {
+	out := make([]Family, 0, NumDepthClasses*NumMixClasses*NumFootprintClasses*NumStrideClasses)
+	for d := 0; d < NumDepthClasses; d++ {
+		for m := 0; m < NumMixClasses; m++ {
+			for ft := 0; ft < NumFootprintClasses; ft++ {
+				for s := 0; s < NumStrideClasses; s++ {
+					out = append(out, Family{Class: Class{
+						Depth:     DepthClass(d),
+						Mix:       MixClass(m),
+						Footprint: FootprintClass(ft),
+						Stride:    StrideClass(s),
+					}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FamilyByName resolves a family from its canonical name.
+func FamilyByName(name string) (Family, bool) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 4 {
+		return Family{}, false
+	}
+	var c Class
+	ok := false
+	for d := 0; d < NumDepthClasses; d++ {
+		if DepthClass(d).String() == parts[0] {
+			c.Depth, ok = DepthClass(d), true
+		}
+	}
+	if !ok {
+		return Family{}, false
+	}
+	ok = false
+	for m := 0; m < NumMixClasses; m++ {
+		if MixClass(m).String() == parts[1] {
+			c.Mix, ok = MixClass(m), true
+		}
+	}
+	if !ok {
+		return Family{}, false
+	}
+	ok = false
+	for f := 0; f < NumFootprintClasses; f++ {
+		if FootprintClass(f).String() == parts[2] {
+			c.Footprint, ok = FootprintClass(f), true
+		}
+	}
+	if !ok {
+		return Family{}, false
+	}
+	ok = false
+	for s := 0; s < NumStrideClasses; s++ {
+		if StrideClass(s).String() == parts[3] {
+			c.Stride, ok = StrideClass(s), true
+		}
+	}
+	if !ok {
+		return Family{}, false
+	}
+	return Family{Class: c}, true
+}
+
+// Kernel is one synthesized workload: reproducible byte-for-byte from its
+// (Family, Seed) pair, carrying the declared class tuple and the content
+// fingerprint of its canonical IR.
+type Kernel struct {
+	// Family is the canonical family name; Seed is the caller-visible
+	// seed within the family (the generator seed is derived from both,
+	// so seed 7 of two different families shares nothing).
+	Family string
+	Seed   uint64
+	// Class is the declared class tuple.
+	Class Class
+	// Fingerprint is the hex SHA-256 of the kernel's canonical IR
+	// (Canonical); equal fingerprints mean equal programs.
+	Fingerprint string
+	// Build returns a fresh instance of the program (new arrays every
+	// call), the contract core.Builder requires.
+	Build func() *loopir.Program
+}
+
+// Name identifies the kernel in reports: family name # seed.
+func (k Kernel) Name() string { return fmt.Sprintf("%s#%d", k.Family, k.Seed) }
+
+// genSeed derives the generator seed from the family name and the
+// caller-visible seed with an FNV-1a fold, so per-family seed sequences are
+// decorrelated. Zero is remapped (the xorshift generator needs non-zero
+// state).
+func genSeed(family string, seed uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(family); i++ {
+		h ^= uint64(family[i])
+		h *= prime64
+	}
+	h ^= seed
+	h *= prime64
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Make synthesizes the kernel (family, seed): it generates the program
+// once to fingerprint it and returns a Kernel whose Build regenerates the
+// identical program on every call. The error path only triggers on a
+// degenerate family configuration, which would be a bug in this package's
+// class tables — Families() entries always validate.
+func Make(f Family, seed uint64) (Kernel, error) {
+	cfg := f.Config()
+	gs := genSeed(f.Name(), seed)
+	prog, err := irgen.Generate(gs, cfg)
+	if err != nil {
+		return Kernel{}, fmt.Errorf("synth: family %s: %w", f.Name(), err)
+	}
+	name := fmt.Sprintf("%s#%d", f.Name(), seed)
+	prog.Name = name
+	k := Kernel{
+		Family:      f.Name(),
+		Seed:        seed,
+		Class:       f.Class,
+		Fingerprint: Fingerprint(prog),
+		Build: func() *loopir.Program {
+			p := irgen.Program(gs, cfg)
+			p.Name = name
+			return p
+		},
+	}
+	return k, nil
+}
+
+// MustMake is Make for the static family tables, panicking on error.
+func MustMake(f Family, seed uint64) Kernel {
+	k, err := Make(f, seed)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
