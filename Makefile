@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke validate-smoke validate corpus corpus-smoke tier1
+.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke validate-smoke validate corpus corpus-smoke estimate-smoke tier1
 
-check: vet build race bench-smoke serve-smoke cluster-smoke validate-smoke corpus-smoke fuzz-smoke
+check: vet build race bench-smoke serve-smoke cluster-smoke validate-smoke corpus-smoke estimate-smoke fuzz-smoke
 
 # tier1 is the fast gate the roadmap requires of every change.
 tier1:
@@ -85,6 +85,14 @@ corpus:
 #   go run ./cmd/corpus -n 96 -sample 8 -out CORPUS_smoke.json
 corpus-smoke:
 	$(GO) run ./cmd/corpus -verify CORPUS_smoke.json
+
+# CI smoke for the symbolic locality estimator: re-score the estimator
+# against the simulator over the smoke corpus and require the committed
+# accuracy artifact byte-identically (docs/ESTIMATOR.md). Regenerate after
+# an intended model change with:
+#   go run ./cmd/corpus -estimate -n 96 -out ESTIMATE_smoke.json
+estimate-smoke:
+	$(GO) run ./cmd/corpus -verify ESTIMATE_smoke.json
 
 # 30 seconds of each fuzz target: enough to shake out codec and
 # marker-elimination regressions on fresh inputs without stalling the

@@ -11,10 +11,18 @@
 //	corpus -verify CORPUS_smoke.json   # regenerate from the artifact's own
 //	                                   # parameters and require byte equality
 //
-// Everything the artifact records is deterministic, so two runs with the
-// same parameters produce byte-identical files; -verify exploits that to
-// turn a committed artifact into a regression gate. Exit status is
-// non-zero on any oracle divergence or verification mismatch.
+// With -estimate the pipeline scores the symbolic locality estimator
+// (internal/locality) instead of profiling classes: every kernel is both
+// simulated and statically analyzed, and the per-class prediction
+// accuracy becomes a selcache-estimate/v1 artifact:
+//
+//	corpus -estimate -n 96 -out ESTIMATE_smoke.json
+//
+// Everything either artifact records is deterministic, so two runs with
+// the same parameters produce byte-identical files; -verify exploits that
+// to turn a committed artifact into a regression gate (the artifact kind
+// is sniffed from its schema field). Exit status is non-zero on any
+// oracle divergence or verification mismatch.
 package main
 
 import (
@@ -51,8 +59,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sample := fs.Int("sample", 32, "kernels to lockstep-check against the differential oracle")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = one per CPU)")
 	out := fs.String("out", "", "write the corpus-profile artifact (JSON) to this path")
+	estimate := fs.Bool("estimate", false, "score the symbolic estimator against the simulator instead of profiling classes")
 	list := fs.Bool("list", false, "list the family names, without running")
-	verify := fs.String("verify", "", "regenerate from this artifact's parameters and require byte equality")
+	verify := fs.String("verify", "", "regenerate from this artifact's parameters and require byte equality (schema-sniffed)")
 	verbose := fs.Bool("v", false, "print every synthesized kernel and spot-check cell")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +89,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	spec := corpus.Spec{Families: fams, N: *n, BaseSeed: *seed}
+	if *estimate {
+		art, err := executeEstimate(spec, o, *workers, stdout, stderr)
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := art.WriteFile(*out); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *out)
+		}
+		return nil
+	}
 	art, err := execute(spec, *sample, o, *workers, stdout, stderr, *verbose)
 	if err != nil {
 		return err
@@ -94,6 +116,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d of %d oracle spot checks diverged", art.OracleDivergences, art.OracleSample)
 	}
 	return nil
+}
+
+// executeEstimate runs the synthesize → simulate → statically-analyze →
+// score pipeline behind -estimate.
+func executeEstimate(spec corpus.Spec, o core.Options, workers int, stdout, stderr io.Writer) (*report.EstimateJSON, error) {
+	start := time.Now()
+	kernels, st, err := corpus.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "corpus: %d distinct kernels from %d families (%d draws, %d duplicates)\n",
+		len(kernels), len(spec.Families), st.Generated, st.Duplicates)
+	rows := corpus.Sweep(kernels, o, workers)
+	ests := corpus.Estimates(kernels, o, workers)
+	art := corpus.EstimateArtifact(spec, st, kernels, rows, ests, o)
+	fmt.Fprintf(stdout, "estimate: verdicts %d exact / %d bounded / %d declined over %d kernels\n",
+		art.Exact, art.Bounded, art.Declined, art.Kernels)
+	for _, v := range art.Overall {
+		fmt.Fprintf(stdout, "estimate: %-14s L1 mean|err| %.2fpp  max %.2fpp  bias %+.2fpp  (%d kernels)\n",
+			v.Version, v.MeanAbsErrPct, v.MaxAbsErrPct, v.BiasPct, v.Kernels)
+	}
+	fmt.Fprintf(stdout, "estimate: fingerprint %s\n", art.CorpusFingerprint)
+	fmt.Fprintf(stderr, "estimate: %.1fs\n", time.Since(start).Seconds())
+	return art, nil
 }
 
 // execute runs the synthesize → sweep → spot-check → aggregate pipeline and
@@ -134,8 +180,30 @@ func execute(spec corpus.Spec, sample int, o core.Options, workers int, stdout, 
 // verifyArtifact reruns the pipeline from the committed artifact's own
 // recorded parameters and requires the regenerated artifact to be
 // byte-identical — the determinism regression gate behind `make
-// corpus-smoke`.
+// corpus-smoke` and `make estimate-smoke`. The artifact kind is sniffed
+// from its schema field.
 func verifyArtifact(path string, workers int, stdout io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch head.Schema {
+	case report.EstimateSchema:
+		return verifyEstimateArtifact(path, workers, stdout)
+	case report.CorpusSchema:
+		return verifyCorpusArtifact(path, workers, stdout)
+	default:
+		return fmt.Errorf("%s: unknown schema %q (want %q or %q)", path, head.Schema, report.CorpusSchema, report.EstimateSchema)
+	}
+}
+
+func verifyCorpusArtifact(path string, workers int, stdout io.Writer) error {
 	want, err := report.LoadCorpusJSON(path)
 	if err != nil {
 		return err
@@ -180,6 +248,54 @@ func verifyArtifact(path string, workers int, stdout io.Writer) error {
 	if got.OracleDivergences > 0 {
 		return fmt.Errorf("%d oracle spot checks diverged", got.OracleDivergences)
 	}
+	return nil
+}
+
+// verifyEstimateArtifact is the estimator-accuracy counterpart: rerun the
+// simulate-and-score pipeline from the artifact's recorded parameters and
+// require byte equality.
+func verifyEstimateArtifact(path string, workers int, stdout io.Writer) error {
+	want, err := report.LoadEstimateJSON(path)
+	if err != nil {
+		return err
+	}
+	fams := make([]synth.Family, len(want.Families))
+	for i, name := range want.Families {
+		f, ok := synth.FamilyByName(name)
+		if !ok {
+			return fmt.Errorf("%s: unknown family %q", path, name)
+		}
+		fams[i] = f
+	}
+	o := core.DefaultOptions()
+	if o.Mechanism, err = selectMechanism(want.Mechanism); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if o.Machine.Name != want.Machine {
+		return fmt.Errorf("%s: artifact machine %q, tool simulates %q", path, want.Machine, o.Machine.Name)
+	}
+	spec := corpus.Spec{Families: fams, N: want.Requested, BaseSeed: want.BaseSeed}
+	kernels, st, err := corpus.Build(spec)
+	if err != nil {
+		return err
+	}
+	rows := corpus.Sweep(kernels, o, workers)
+	ests := corpus.Estimates(kernels, o, workers)
+	got := corpus.EstimateArtifact(spec, st, kernels, rows, ests, o)
+
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		return err
+	}
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		return fmt.Errorf("%s: regenerated artifact differs from committed file (same parameters must be byte-identical; regenerate with -estimate -out if the change is intended)", path)
+	}
+	fmt.Fprintf(stdout, "verify %s: %d kernels, %d exact / %d bounded / %d declined, artifact regenerates byte-identically\n",
+		path, got.Kernels, got.Exact, got.Bounded, got.Declined)
 	return nil
 }
 

@@ -97,6 +97,69 @@ func TestRunSmallCorpusEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunEstimateEndToEnd drives the estimator-accuracy pipeline through
+// the CLI on a tiny corpus, then -verify re-scores it byte-for-byte — the
+// verify path must sniff the estimate schema from the same flag the corpus
+// artifact uses.
+func TestRunEstimateEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "estimate.json")
+	args := []string{"-estimate", "-n", "8", "-seed", "1",
+		"-families", "shallow/affine/small/unit,shallow/mostly-affine/small/strided,medium/irregular/small/spread",
+		"-out", out}
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstdout:\n%s", err, stdout.String())
+	}
+	for _, want := range []string{"8 distinct kernels", "estimate: verdicts ", "L1 mean|err| ", "estimate: fingerprint ", "wrote "} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+	art, err := report.LoadEstimateJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Kernels != 8 || art.Exact+art.Bounded+art.Declined != 8 {
+		t.Fatalf("artifact: %d kernels, verdicts %d/%d/%d", art.Kernels, art.Exact, art.Bounded, art.Declined)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-verify", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("verify: %v\nstdout:\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "regenerates byte-identically") {
+		t.Fatalf("verify output:\n%s", stdout.String())
+	}
+
+	// A tampered accuracy number must fail verification even though the
+	// file still validates structurally.
+	art.Overall[0].MaxAbsErrPct += art.Overall[0].MeanAbsErrPct + 1
+	if err := art.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-verify", out}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "differs from committed") {
+		t.Fatalf("verify of tampered artifact = %v", err)
+	}
+}
+
+// TestVerifyCommittedEstimateArtifact regenerates the checked-in estimator
+// smoke artifact — the `make estimate-smoke` gate, kept in `go test` so
+// tier-1 alone catches model drift.
+func TestVerifyCommittedEstimateArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("estimate artifact regeneration is a full 96-kernel sweep")
+	}
+	path := filepath.Join("..", "..", "ESTIMATE_smoke.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("committed estimate artifact missing: %v", err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-verify", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("verify: %v\nstdout:\n%s", err, stdout.String())
+	}
+}
+
 // TestVerifyCommittedSmokeArtifact regenerates the checked-in smoke
 // artifact from its own parameters — the same gate `make corpus-smoke`
 // runs, kept in `go test` so tier-1 alone catches drift.

@@ -26,6 +26,7 @@
 //
 //	selcached ctl -addr http://127.0.0.1:8080 -timeout 2m health
 //	selcached ctl run -bench swim -config base -mech bypass
+//	selcached ctl estimate -bench swim -config base
 //	selcached ctl sweep -benches swim,compress -configs base
 //	selcached ctl result -key <sha256>
 //	selcached ctl cluster status|workers|shards
@@ -96,6 +97,7 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 		cachedir = fs.String("cachedir", "", "persist simulation results as <key>.json files in `dir`")
 		entries  = fs.Int("cache-entries", 4096, "in-memory result cache capacity")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "default per-request deadline (0: none)")
+		estPlan  = fs.Bool("estimate-plan", false, "order sweep cells by symbolic-estimator interest and allow estimate_top pruning")
 
 		workerMode = fs.Bool("worker", false, "run as a cluster worker (requires -join)")
 		join       = fs.String("join", "", "coordinator base `URL` to announce to (worker mode)")
@@ -126,6 +128,7 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 		CacheDir:       *cachedir,
 		CacheEntries:   *entries,
 		DefaultTimeout: *timeout,
+		EstimatePlan:   *estPlan,
 		Role:           role,
 		Log:            stderr,
 	})
@@ -214,7 +217,7 @@ func runCtl(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return errors.New("ctl: missing action (health|metrics|workloads|run|sweep|result|cluster)")
+		return errors.New("ctl: missing action (health|metrics|workloads|run|estimate|sweep|result|cluster)")
 	}
 	if *timeout < 0 {
 		return fmt.Errorf("ctl: negative -timeout %v", *timeout)
@@ -239,6 +242,8 @@ func runCtl(args []string, stdout, stderr io.Writer) error {
 		return c.get("/v1/workloads", rest)
 	case "run":
 		return ctlRun(c, rest, stderr)
+	case "estimate":
+		return ctlEstimate(c, rest, stderr)
 	case "sweep":
 		return ctlSweep(c, rest, stderr)
 	case "result":
@@ -336,6 +341,28 @@ func ctlRun(c *ctlClient, args []string, stderr io.Writer) error {
 	return c.post("/v1/run", body)
 }
 
+// ctlEstimate asks the zero-cost tier for a symbolic locality estimate —
+// no simulation runs, so the answer is immediate even on a busy server.
+func ctlEstimate(c *ctlClient, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("selcached ctl estimate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		bench  = fs.String("bench", "", "benchmark name or synthetic family#seed (required)")
+		config = fs.String("config", "base", "machine configuration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
+	if *bench == "" {
+		return errors.New("ctl estimate: -bench is required")
+	}
+	body := fmt.Sprintf(`{"workload":%q,"config":%q}`, *bench, *config)
+	return c.post("/v1/estimate", body)
+}
+
 func ctlSweep(c *ctlClient, args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("selcached ctl sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -344,6 +371,7 @@ func ctlSweep(c *ctlClient, args []string, stderr io.Writer) error {
 		configs = fs.String("configs", "", "comma-separated configurations (empty: all)")
 		mechs   = fs.String("mechs", "", "comma-separated mechanisms (empty: both)")
 		timeout = fs.Int64("timeout-ms", 0, "request deadline in milliseconds (0: server default)")
+		estTop  = fs.Int("estimate-top", 0, "prune each sweep to its N most interesting workloads (needs server -estimate-plan)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -351,8 +379,8 @@ func ctlSweep(c *ctlClient, args []string, stderr io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
 	}
-	body := fmt.Sprintf(`{"workloads":%s,"configs":%s,"mechanisms":%s,"timeout_ms":%d}`,
-		jsonList(*benches), jsonList(*configs), jsonList(*mechs), *timeout)
+	body := fmt.Sprintf(`{"workloads":%s,"configs":%s,"mechanisms":%s,"timeout_ms":%d,"estimate_top":%d}`,
+		jsonList(*benches), jsonList(*configs), jsonList(*mechs), *timeout, *estTop)
 	return c.post("/v1/sweep", body)
 }
 

@@ -70,6 +70,8 @@ func TestCtlFlagErrors(t *testing.T) {
 		{"unknown action", []string{"ctl", "dance"}, `unknown action "dance"`},
 		{"run missing bench", []string{"ctl", "run"}, "-bench is required"},
 		{"run positional", []string{"ctl", "run", "-bench", "swim", "extra"}, `unexpected argument "extra"`},
+		{"estimate missing bench", []string{"ctl", "estimate"}, "-bench is required"},
+		{"estimate positional", []string{"ctl", "estimate", "-bench", "swim", "extra"}, `unexpected argument "extra"`},
 		{"sweep positional", []string{"ctl", "sweep", "extra"}, `unexpected argument "extra"`},
 		{"result missing key", []string{"ctl", "result"}, "-key is required"},
 		{"health positional", []string{"ctl", "health", "extra"}, `unexpected argument "extra"`},
@@ -120,10 +122,23 @@ func TestCtlAgainstServer(t *testing.T) {
 				t.Errorf("ctl run body = %s", body)
 			}
 			io.WriteString(w, `{"key":"abc"}`)
+		case "/v1/estimate":
+			body, _ := io.ReadAll(r.Body)
+			var req map[string]any
+			if err := json.Unmarshal(body, &req); err != nil {
+				t.Errorf("ctl estimate sent invalid JSON: %s", body)
+			}
+			if req["workload"] != "vpenta" || req["config"] != "larger-l1" {
+				t.Errorf("ctl estimate body = %s", body)
+			}
+			io.WriteString(w, `{"verdict":"exact"}`)
 		case "/v1/sweep":
 			body, _ := io.ReadAll(r.Body)
 			if !strings.Contains(string(body), `"workloads":["swim","compress"]`) {
 				t.Errorf("ctl sweep body = %s", body)
+			}
+			if !strings.Contains(string(body), `"estimate_top":2`) {
+				t.Errorf("ctl sweep body missing estimate_top: %s", body)
 			}
 			io.WriteString(w, `{"sweeps":[]}`)
 		case "/v1/results/deadbeef":
@@ -154,7 +169,15 @@ func TestCtlAgainstServer(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run([]string{"ctl", "-addr", ts.URL, "sweep", "-benches", "swim,compress"}, &out, &errw); err != nil {
+	if err := run([]string{"ctl", "-addr", ts.URL, "estimate", "-bench", "vpenta", "-config", "larger-l1"}, &out, &errw); err != nil {
+		t.Fatalf("ctl estimate: %v", err)
+	}
+	if !strings.Contains(out.String(), `"verdict":"exact"`) {
+		t.Fatalf("ctl estimate output %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"ctl", "-addr", ts.URL, "sweep", "-benches", "swim,compress", "-estimate-top", "2"}, &out, &errw); err != nil {
 		t.Fatalf("ctl sweep: %v", err)
 	}
 
@@ -213,6 +236,16 @@ func TestCtlDialErrorNamesAddress(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), dead) {
 		t.Fatalf("dial error %v should name the target %s", err, dead)
+	}
+
+	// The estimate action goes through the same bounded client, so its
+	// dial error must carry the target address too.
+	err = run([]string{"ctl", "-addr", dead, "-timeout", "2s", "estimate", "-bench", "swim"}, &out, &errw)
+	if err == nil {
+		t.Fatal("ctl estimate against a closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), dead) {
+		t.Fatalf("estimate dial error %v should name the target %s", err, dead)
 	}
 }
 

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"selcache/internal/locality"
+	"selcache/internal/loopir"
+	"selcache/internal/opt"
+)
+
+// PCOTVariant names the extra estimator-only program variant: the software
+// pipeline with cache-oblivious (PCOT) tiling in place of geometry-driven
+// tiling. It is not one of the five simulated versions — it exists so the
+// estimator has a sixth candidate to rank.
+const PCOTVariant = "pcot"
+
+// PreparePCOT builds the cache-oblivious variant of a workload: the full
+// compiler pipeline with opt.Options.PCOT replacing geometry-driven tiling.
+func PreparePCOT(build Builder, o Options) (*loopir.Program, opt.Stats) {
+	o = o.normalized()
+	prog := build()
+	po := o.Opt
+	po.PCOT = true
+	ost := opt.Optimize(prog, po)
+	return prog, ost
+}
+
+// VariantEstimate pairs a program variant's name with its static estimate.
+type VariantEstimate struct {
+	Name     string            `json:"name"`
+	Estimate locality.Estimate `json:"estimate"`
+}
+
+// EstimateVariants statically estimates every simulated version plus the
+// PCOT variant, in Versions() order then "pcot". The estimator is
+// mechanism-blind (it predicts the cache geometry's behavior, not the
+// MAT/SLDT or victim mechanisms), so base and pure-hardware share one
+// estimate, as do pure-software and combined; the selective version
+// differs only through region detection's effect on what gets optimized.
+func EstimateVariants(build Builder, o Options) []VariantEstimate {
+	o = o.normalized()
+	g := locality.FromConfig(o.Machine)
+	out := make([]VariantEstimate, 0, NumVersions+1)
+	var baseEst, softEst locality.Estimate
+	for _, v := range Versions() {
+		var est locality.Estimate
+		switch v {
+		case Base:
+			prog, _, _ := Prepare(build, v, o)
+			baseEst = locality.Analyze(prog, g)
+			est = baseEst
+		case PureHardware:
+			est = baseEst
+		case PureSoftware:
+			prog, _, _ := Prepare(build, v, o)
+			softEst = locality.Analyze(prog, g)
+			est = softEst
+		case Combined:
+			est = softEst
+		case Selective:
+			prog, _, _ := Prepare(build, v, o)
+			est = locality.Analyze(prog, g)
+		}
+		out = append(out, VariantEstimate{Name: v.String(), Estimate: est})
+	}
+	prog, _ := PreparePCOT(build, o)
+	out = append(out, VariantEstimate{Name: PCOTVariant, Estimate: locality.Analyze(prog, g)})
+	return out
+}

@@ -1,0 +1,108 @@
+package locality_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"selcache/internal/core"
+	"selcache/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestEstimateGolden pins the estimator's output over every named benchmark
+// and every program variant (the five simulated versions plus PCOT): any
+// model change shows up as a readable diff in testdata/estimates.golden.
+// Regenerate intended changes with: go test ./internal/locality -update
+func TestEstimateGolden(t *testing.T) {
+	var b strings.Builder
+	o := core.DefaultOptions()
+	for _, w := range workloads.All() {
+		fmt.Fprintf(&b, "== %s (%s)\n", w.Name, w.Class)
+		for _, ve := range core.EstimateVariants(w.Build, o) {
+			e := ve.Estimate
+			if e.Verdict == "declined" {
+				reason := e.Reason
+				if len(reason) > 100 {
+					reason = reason[:100] + "..."
+				}
+				fmt.Fprintf(&b, "%-14s declined  %s\n", ve.Name, reason)
+				continue
+			}
+			fmt.Fprintf(&b, "%-14s %-8s acc=%.0f instr=%.0f L1=%.2f%% L2=%.2f%% TLB=%.3f%% cost=%.0f\n",
+				ve.Name, e.Verdict, e.Accesses, e.Instructions,
+				e.L1.MissPct, e.L2.MissPct, e.TLB.MissPct, e.Cost)
+		}
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "estimates.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("estimates diverge from golden (regenerate with -update if intended):\n%s", firstDiff(string(want), got))
+	}
+}
+
+// firstDiff renders the first differing line of two multi-line strings.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, w, g)
+		}
+	}
+	return "no line diff (length mismatch)"
+}
+
+// TestEstimateVariantsShape checks the variant list contract the server
+// and corpus rely on: Versions() order plus the trailing pcot entry, and
+// estimator-blindness pairings (base==pure-hardware, pure-software==combined).
+func TestEstimateVariantsShape(t *testing.T) {
+	w, _ := workloads.ByName("swim")
+	vs := core.EstimateVariants(w.Build, core.DefaultOptions())
+	if len(vs) != core.NumVersions+1 {
+		t.Fatalf("got %d variants, want %d", len(vs), core.NumVersions+1)
+	}
+	wantNames := []string{"base", "pure-hardware", "pure-software", "combined", "selective", "pcot"}
+	for i, n := range wantNames {
+		if vs[i].Name != n {
+			t.Fatalf("variant %d is %q, want %q", i, vs[i].Name, n)
+		}
+	}
+	same := func(a, b core.VariantEstimate) bool {
+		return a.Estimate.Accesses == b.Estimate.Accesses &&
+			a.Estimate.Cost == b.Estimate.Cost &&
+			a.Estimate.L1.Misses == b.Estimate.L1.Misses
+	}
+	if !same(vs[0], vs[1]) {
+		t.Error("base and pure-hardware should share one estimate (mechanism-blind model)")
+	}
+	if !same(vs[2], vs[3]) {
+		t.Error("pure-software and combined should share one estimate")
+	}
+}

@@ -1,0 +1,298 @@
+package locality_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"selcache/internal/core"
+	"selcache/internal/locality"
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+	"selcache/internal/sim"
+)
+
+func baseGeom() locality.Geometry { return locality.FromConfig(sim.Base()) }
+
+// sweep1D builds: for i = 0..n { s: A[i] (read) } with 8-byte elements.
+func sweep1D(n int) *loopir.Program {
+	s := mem.NewSpace()
+	a := mem.NewArray(s, "A", 8, n)
+	return &loopir.Program{Name: "sweep", Body: []loopir.Node{
+		loopir.ForLoop("i", n,
+			&loopir.Stmt{Name: "s", Compute: 1, Refs: []loopir.Ref{
+				loopir.AffineRef(a, false, loopir.VarExpr("i")),
+			}},
+		),
+	}}
+}
+
+// repeatSweep builds: for r = 0..reps { for i = 0..n { A[i] } }.
+func repeatSweep(reps, n int) *loopir.Program {
+	s := mem.NewSpace()
+	a := mem.NewArray(s, "A", 8, n)
+	return &loopir.Program{Name: "repeat", Body: []loopir.Node{
+		loopir.ForLoop("r", reps,
+			loopir.ForLoop("i", n,
+				&loopir.Stmt{Name: "s", Compute: 1, Refs: []loopir.Ref{
+					loopir.AffineRef(a, false, loopir.VarExpr("i")),
+				}},
+			),
+		),
+	}}
+}
+
+// TestExactCountsMatchInterpreter pins the estimator's access and
+// instruction predictions to the interpreter's actual event counts for
+// exact-verdict, constant-bound programs — the counts are not a model,
+// they are arithmetic, so they must agree to the last event.
+func TestExactCountsMatchInterpreter(t *testing.T) {
+	progs := map[string]*loopir.Program{
+		"sweep1d":     sweep1D(4096),
+		"repeatSweep": repeatSweep(8, 2048),
+		"matmul":      matmul(48),
+		"triangular":  triangular(64),
+	}
+	g := baseGeom()
+	for name, p := range progs {
+		est := locality.Analyze(p, g)
+		if est.Verdict != locality.VerdictExact {
+			t.Fatalf("%s: verdict %s (%s), want exact", name, est.Verdict, est.Reason)
+		}
+		c := core.CountStats(p)
+		if got, want := est.Accesses, float64(c.Accesses()); got != want {
+			t.Errorf("%s: predicted %.1f accesses, interpreter counted %.0f", name, got, want)
+		}
+		if got, want := est.Instructions, float64(c.Instructions); got != want {
+			t.Errorf("%s: predicted %.1f instructions, interpreter counted %d", name, got, c.Instructions)
+		}
+	}
+}
+
+// matmul builds the classic C[i][j] += A[i][k]*B[k][j] nest.
+func matmul(n int) *loopir.Program {
+	s := mem.NewSpace()
+	a := mem.NewArray(s, "A", 8, n, n)
+	b := mem.NewArray(s, "B", 8, n, n)
+	c := mem.NewArray(s, "C", 8, n, n)
+	i, j, k := loopir.VarExpr("i"), loopir.VarExpr("j"), loopir.VarExpr("k")
+	return &loopir.Program{Name: "matmul", Body: []loopir.Node{
+		loopir.ForLoop("i", n,
+			loopir.ForLoop("j", n,
+				loopir.ForLoop("k", n,
+					&loopir.Stmt{Name: "s", Compute: 2, Refs: []loopir.Ref{
+						loopir.AffineRef(c, true, i, j),
+						loopir.AffineRef(a, false, i, k),
+						loopir.AffineRef(b, false, k, j),
+					}},
+				),
+			),
+		),
+	}}
+}
+
+// triangular builds for i = 0..n { for j = i..n { A[j] } } — symbolic inner
+// bounds whose midpoint trip model is exact by linearity.
+func triangular(n int) *loopir.Program {
+	s := mem.NewSpace()
+	a := mem.NewArray(s, "A", 8, n)
+	inner := loopir.ForRange("j", loopir.VarExpr("i"), loopir.ConstExpr(n),
+		&loopir.Stmt{Name: "s", Compute: 1, Refs: []loopir.Ref{
+			loopir.AffineRef(a, false, loopir.VarExpr("j")),
+		}},
+	)
+	return &loopir.Program{Name: "tri", Body: []loopir.Node{
+		loopir.ForLoop("i", n, inner),
+	}}
+}
+
+// TestUnitStrideSpatialReuse: a single cold sweep of n 8-byte elements
+// misses once per 32-byte L1 line — n/4 misses, 25% miss ratio.
+func TestUnitStrideSpatialReuse(t *testing.T) {
+	n := 100000
+	est := locality.Analyze(sweep1D(n), baseGeom())
+	want := float64(n) / 4
+	if math.Abs(est.L1.Misses-want) > want*0.01 {
+		t.Fatalf("L1 misses %.0f, want ~%.0f", est.L1.Misses, want)
+	}
+	// 128-byte L2 lines: n/16 misses.
+	if want2 := float64(n) / 16; math.Abs(est.L2.Misses-want2) > want2*0.01 {
+		t.Fatalf("L2 misses %.0f, want ~%.0f", est.L2.Misses, want2)
+	}
+	if est.TLB.Misses > float64(n)/512*1.01 {
+		t.Fatalf("TLB misses %.0f, want <= ~%.0f", est.TLB.Misses, float64(n)/512)
+	}
+}
+
+// TestCapturedTemporalReuse: repeated traversals of an L1-resident array
+// miss only on the first pass; of an L1-overflowing array, every pass.
+func TestCapturedTemporalReuse(t *testing.T) {
+	reps := 16
+	small := 1024 // 8 KB < 32 KB L1
+	est := locality.Analyze(repeatSweep(reps, small), baseGeom())
+	coldLines := float64(small) * 8 / 32
+	if est.L1.Misses > coldLines*1.01 {
+		t.Fatalf("resident array: %.0f L1 misses, want ~%.0f (one cold pass)", est.L1.Misses, coldLines)
+	}
+
+	big := 1 << 16 // 512 KB > 32 KB L1, = L2 capacity boundary
+	est = locality.Analyze(repeatSweep(reps, big), baseGeom())
+	perPass := float64(big) * 8 / 32
+	want := perPass * float64(reps)
+	if math.Abs(est.L1.Misses-want) > want*0.01 {
+		t.Fatalf("overflowing array: %.0f L1 misses, want ~%.0f (every pass re-misses)", est.L1.Misses, want)
+	}
+}
+
+// TestLoopReports checks the symbolic per-loop reuse summary: the repeat
+// loop carries the traversal's footprint as its reuse distance, captured
+// by L1 only when the array is resident.
+func TestLoopReports(t *testing.T) {
+	est := locality.Analyze(repeatSweep(4, 1024), baseGeom())
+	if len(est.Loops) != 2 {
+		t.Fatalf("got %d loop reports, want 2", len(est.Loops))
+	}
+	r := est.Loops[0]
+	if r.Var != "r" || r.Depth != 0 {
+		t.Fatalf("first report %+v, want outer loop r at depth 0", r)
+	}
+	if !r.CapturedL1 {
+		t.Errorf("8 KB traversal under loop r should be L1-captured: %+v", r)
+	}
+	if r.DistBytes != 8192 {
+		t.Errorf("reuse distance %.0f bytes, want 8192", r.DistBytes)
+	}
+	if !strings.Contains(r.Detail, "A:") {
+		t.Errorf("detail %q should name array A", r.Detail)
+	}
+
+	est = locality.Analyze(repeatSweep(4, 1<<16), baseGeom())
+	if r := est.Loops[0]; r.CapturedL1 || !r.CapturedL2 == (r.DistBytes <= 512<<10) {
+		if r.CapturedL1 {
+			t.Errorf("512 KB traversal should not be L1-captured: %+v", r)
+		}
+	}
+}
+
+// TestDeclinesIrregular: pointer-class opaque references and opaque
+// references without a declared array are declined with a reason naming
+// the reference.
+func TestDeclinesIrregular(t *testing.T) {
+	s := mem.NewSpace()
+	heap := mem.NewArray(s, "heap", 8, 4096)
+	for _, tc := range []struct {
+		name string
+		ref  loopir.Ref
+	}{
+		{"pointer", loopir.OpaqueRef(loopir.ClassPointer, heap, false)},
+		{"struct", loopir.OpaqueRef(loopir.ClassStruct, heap, true)},
+		{"no-array", loopir.OpaqueRef(loopir.ClassIndexed, nil, false)},
+	} {
+		p := &loopir.Program{Name: tc.name, Body: []loopir.Node{
+			loopir.ForLoop("i", 64, &loopir.Stmt{
+				Name: "op",
+				Refs: []loopir.Ref{tc.ref},
+				Run:  func(ctx *loopir.Ctx) { ctx.Compute(1) },
+			}),
+		}}
+		est := locality.Analyze(p, baseGeom())
+		if est.Verdict != locality.VerdictDeclined {
+			t.Errorf("%s: verdict %s, want declined", tc.name, est.Verdict)
+		}
+		if est.Reason == "" {
+			t.Errorf("%s: declined without a reason", tc.name)
+		}
+		if est.Accesses != 0 {
+			t.Errorf("%s: declined estimate should not predict accesses, got %.0f", tc.name, est.Accesses)
+		}
+	}
+}
+
+// TestBoundsMostlyAffine: an indexed opaque reference with a declared
+// array yields a bounded verdict whose Lo/Hi bracket the point prediction.
+func TestBoundsMostlyAffine(t *testing.T) {
+	s := mem.NewSpace()
+	tab := mem.NewArray(s, "tab", 8, 256, 64)
+	n := 4096
+	p := &loopir.Program{Name: "mixed", Body: []loopir.Node{
+		loopir.ForLoop("i", n, &loopir.Stmt{
+			Name: "op",
+			Refs: []loopir.Ref{loopir.OpaqueRef(loopir.ClassIndexed, tab, false)},
+			Run: func(ctx *loopir.Ctx) {
+				ctx.Compute(2)
+				ctx.Load(tab, ctx.V("i")%256, ctx.V("i")%64)
+			},
+		}),
+	}}
+	est := locality.Analyze(p, baseGeom())
+	if est.Verdict != locality.VerdictBounded {
+		t.Fatalf("verdict %s (%s), want bounded", est.Verdict, est.Reason)
+	}
+	if !strings.Contains(est.Reason, "tab") {
+		t.Errorf("reason %q should name the bounding array", est.Reason)
+	}
+	for _, lv := range []locality.Level{est.L1, est.L2, est.TLB} {
+		if !(lv.MissesLo <= lv.Misses && lv.Misses <= lv.MissesHi) {
+			t.Errorf("%s: bounds %.1f <= %.1f <= %.1f violated", lv.Name, lv.MissesLo, lv.Misses, lv.MissesHi)
+		}
+		if lv.MissesHi > float64(n) {
+			t.Errorf("%s: hi bound %.1f exceeds total accesses %d", lv.Name, lv.MissesHi, n)
+		}
+	}
+	if est.Accesses != float64(n) {
+		t.Errorf("accesses %.0f, want %d (one per declared opaque ref per iteration)", est.Accesses, n)
+	}
+}
+
+// TestInterchangeRanksBetter: the estimator must prefer the stride-1 inner
+// loop over the stride-N one — the core ranking property the planner uses.
+func TestInterchangeRanksBetter(t *testing.T) {
+	n := 512
+	build := func(rowMajorInner bool) *loopir.Program {
+		s := mem.NewSpace()
+		a := mem.NewArray(s, "A", 8, n, n)
+		i, j := loopir.VarExpr("i"), loopir.VarExpr("j")
+		stmt := func() *loopir.Stmt {
+			return &loopir.Stmt{Name: "s", Compute: 1, Refs: []loopir.Ref{
+				loopir.AffineRef(a, true, i, j),
+			}}
+		}
+		if rowMajorInner {
+			return &loopir.Program{Name: "good", Body: []loopir.Node{
+				loopir.ForLoop("i", n, loopir.ForLoop("j", n, stmt())),
+			}}
+		}
+		return &loopir.Program{Name: "bad", Body: []loopir.Node{
+			loopir.ForLoop("j", n, loopir.ForLoop("i", n, stmt())),
+		}}
+	}
+	g := baseGeom()
+	good := locality.Analyze(build(true), g)
+	bad := locality.Analyze(build(false), g)
+	if good.L1.Misses >= bad.L1.Misses {
+		t.Fatalf("stride-1 inner loop predicted %.0f L1 misses, column walk %.0f — ranking inverted",
+			good.L1.Misses, bad.L1.Misses)
+	}
+	if good.Cost >= bad.Cost {
+		t.Fatalf("cost ranking inverted: good %.0f >= bad %.0f", good.Cost, bad.Cost)
+	}
+}
+
+// TestByClassSplit: predicted accesses are attributed to reference classes.
+func TestByClassSplit(t *testing.T) {
+	est := locality.Analyze(sweep1D(128), baseGeom())
+	if len(est.ByClass) != 1 || est.ByClass[0].Class != "affine" || est.ByClass[0].Accesses != 128 {
+		t.Fatalf("by-class split %+v, want [affine:128]", est.ByClass)
+	}
+}
+
+// TestAnalyzeIsReadOnly: analyzing must not mutate the program (the server
+// estimates cached Builder outputs).
+func TestAnalyzeIsReadOnly(t *testing.T) {
+	p := matmul(16)
+	before := p.String()
+	locality.Analyze(p, baseGeom())
+	if after := p.String(); after != before {
+		t.Fatalf("Analyze mutated the program:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}

@@ -1,0 +1,776 @@
+package locality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// The three predicted levels share one recurrence; they differ only in
+// block size and capacity.
+const (
+	levelL1 = iota
+	levelL2
+	levelTLB
+	numLevels
+)
+
+var levelNames = [numLevels]string{"L1", "L2", "TLB"}
+
+// opaqueComputeCost is the per-execution compute charge assumed for opaque
+// statement bodies whose Stmt.Compute is zero. It matches the generator
+// convention (irgen opaque bodies emit Compute(2) plus one load); named
+// irregular workloads may deviate, which is part of why their verdicts are
+// bounded or declined.
+const opaqueComputeCost = 2
+
+// interval is an inclusive integer range of values a loop variable (or an
+// affine expression of loop variables) can take.
+type interval struct{ lo, hi int64 }
+
+func (iv interval) mid() float64 { return float64(iv.lo+iv.hi) / 2 }
+
+// loopMeta records what the analyzer knows about a bound loop variable.
+type loopMeta struct {
+	trip        float64
+	step        int64
+	constLo     int64
+	constHi     int64
+	constBounds bool
+}
+
+// gkey identifies a reference group: same target and same subscript shape
+// (per-dimension variable terms; constant offsets are merged into the
+// group's offset sets).
+type gkey struct {
+	arr    *mem.Array
+	scalar *mem.Scalar
+	sig    string
+}
+
+// group accumulates one reference group's predicted accesses and misses
+// through the recursive analysis. acc and M are per one execution of the
+// current subtree and are scaled by trip counts as the recursion unwinds.
+type group struct {
+	key    gkey
+	class  loopir.RefClass
+	opaque bool
+	// subs holds a representative subscript list (variable terms are
+	// identical across the group by construction of sig).
+	subs []loopir.Expr
+	// offs collects, per dimension, the distinct constant offsets seen.
+	offs [][]int64
+
+	acc float64
+	M   [numLevels]float64
+	// vals is the group's distinct index values under the rank-1
+	// assumption for opaque references (see opaqueMisses): refs per body
+	// execution plus trip−1 per enclosing loop. Unused for analyzable
+	// groups, whose subscripts are counted exactly.
+	vals float64
+}
+
+// body is the analysis result of one body (a node slice): its reference
+// groups (in first-appearance order, which keeps every float accumulation
+// deterministic), total accesses, non-access instructions, and the set of
+// loop variables bound inside it.
+type body struct {
+	groups []*group
+	index  map[gkey]int
+	acc    float64
+	instr  float64
+	vars   map[string]bool
+}
+
+func newBody() *body {
+	return &body{index: map[gkey]int{}, vars: map[string]bool{}}
+}
+
+type analyzer struct {
+	g     Geometry
+	block [numLevels]int64
+	capb  [numLevels]int64
+	assoc [numLevels]int64
+
+	env  map[string]interval
+	meta map[string]loopMeta
+
+	depth int
+	loops []LoopReport
+
+	classAcc [6]float64
+}
+
+func newAnalyzer(g Geometry) *analyzer {
+	a := &analyzer{
+		g:    g,
+		env:  map[string]interval{},
+		meta: map[string]loopMeta{},
+	}
+	a.block = [numLevels]int64{int64(g.L1Block), int64(g.L2Block), int64(g.PageSize)}
+	a.capb = [numLevels]int64{int64(g.L1Size), int64(g.L2Size), int64(g.TLBEntries) * int64(g.PageSize)}
+	a.assoc = [numLevels]int64{int64(g.L1Assoc), int64(g.L2Assoc), int64(g.TLBAssoc)}
+	return a
+}
+
+func (a *analyzer) analyze(p *loopir.Program) Estimate {
+	var est Estimate
+	// Disposition pass: every static reference either analyzes exactly,
+	// bounds through its declared array, or sinks the whole program.
+	var declined []string
+	var bounded []string
+	for _, s := range loopir.Stmts(p.Body) {
+		for _, r := range s.Refs {
+			switch {
+			case r.Class.Analyzable():
+				est.RefsAnalyzable++
+			case r.Class == loopir.ClassPointer || r.Class == loopir.ClassStruct || r.Array == nil:
+				est.RefsDeclined++
+				declined = append(declined, r.String())
+			default:
+				est.RefsBounded++
+				bounded = append(bounded, r.String())
+			}
+		}
+	}
+	if est.RefsDeclined > 0 {
+		est.Verdict = VerdictDeclined
+		est.Reason = "undeclared irregular references (pointer/struct chasing or no target array): " +
+			strings.Join(sortedUnique(declined), ", ")
+		return est
+	}
+	switch {
+	case est.RefsBounded > 0:
+		est.Verdict = VerdictBounded
+		est.Reason = "opaque references bounded by declared array footprints: " +
+			strings.Join(sortedUnique(bounded), ", ")
+	default:
+		est.Verdict = VerdictExact
+	}
+
+	b := a.analyzeBody(p.Body)
+
+	est.Accesses = b.acc
+	est.Instructions = b.instr + b.acc // every access issues one instruction
+
+	var m, mLo, mHi [numLevels]float64
+	for _, g := range b.groups {
+		a.classAcc[g.class] += g.acc
+		for lv := 0; lv < numLevels; lv++ {
+			// A group's misses are bounded by its own accesses no matter
+			// what the recurrence produced.
+			mg := math.Min(g.M[lv], g.acc)
+			m[lv] += mg
+			if g.opaque {
+				mLo[lv] += math.Min(g.acc, 1)
+				mHi[lv] += g.acc
+			} else {
+				mLo[lv] += mg
+				mHi[lv] += mg
+			}
+		}
+	}
+	clamp := func(v, hi float64) float64 { return math.Min(v, hi) }
+	for lv := 0; lv < numLevels; lv++ {
+		m[lv] = clamp(m[lv], b.acc)
+		mLo[lv] = clamp(mLo[lv], b.acc)
+		mHi[lv] = clamp(mHi[lv], b.acc)
+	}
+	// L2 sees the L1 miss stream; it cannot miss more than L1 does.
+	m[levelL2] = clamp(m[levelL2], m[levelL1])
+	mLo[levelL2] = clamp(mLo[levelL2], mLo[levelL1])
+	mHi[levelL2] = clamp(mHi[levelL2], mHi[levelL1])
+
+	mkLevel := func(lv int, accesses float64) Level {
+		l := Level{
+			Name:     levelNames[lv],
+			Accesses: accesses,
+			Misses:   m[lv],
+			MissesLo: mLo[lv],
+			MissesHi: mHi[lv],
+		}
+		if accesses > 0 {
+			l.MissPct = 100 * l.Misses / accesses
+			l.MissPctLo = 100 * l.MissesLo / accesses
+			l.MissPctHi = 100 * l.MissesHi / accesses
+		}
+		return l
+	}
+	est.L1 = mkLevel(levelL1, b.acc)
+	est.L2 = mkLevel(levelL2, m[levelL1])
+	est.TLB = mkLevel(levelTLB, b.acc)
+
+	est.Cost = est.Instructions/float64(a.g.IssueWidth) +
+		b.acc*float64(a.g.L1Lat) +
+		m[levelL1]*float64(a.g.L2Lat) +
+		m[levelL2]*float64(a.g.MemLat) +
+		m[levelTLB]*float64(a.g.TLBLat)
+
+	for c := 0; c < len(a.classAcc); c++ {
+		if a.classAcc[c] > 0 {
+			est.ByClass = append(est.ByClass, ClassAccesses{
+				Class:    loopir.RefClass(c).String(),
+				Accesses: a.classAcc[c],
+			})
+		}
+	}
+	est.Loops = a.loops
+	return est
+}
+
+// analyzeBody folds a body's statements and child loops into one body
+// summary. Group order is first-appearance order, so every accumulation
+// over groups is deterministic.
+func (a *analyzer) analyzeBody(nodes []loopir.Node) *body {
+	b := newBody()
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *loopir.Stmt:
+			if n.Opaque() {
+				c := n.Compute
+				if c == 0 {
+					c = opaqueComputeCost
+				}
+				b.instr += float64(c)
+			} else {
+				b.instr += float64(n.Compute)
+			}
+			for _, r := range n.Refs {
+				if r.Hoisted {
+					continue
+				}
+				a.addRef(b, r)
+			}
+		case *loopir.Marker:
+			b.instr++
+		case *loopir.Loop:
+			lb := a.analyzeLoop(n)
+			b.merge(lb)
+		}
+	}
+	return b
+}
+
+// analyzeLoop runs the fit-or-multiply recurrence for one loop: analyze the
+// body once, measure the body's per-iteration footprint (the symbolic reuse
+// distance the loop carries), and per level either collapse the loop's
+// misses to the distinct lines it walks (distance fits: reuse captured) or
+// multiply the body's misses by the trip count (distance overflows).
+func (a *analyzer) analyzeLoop(l *loopir.Loop) *body {
+	// Bind the loop variable before analyzing the body.
+	prevIv, hadIv := a.env[l.Var]
+	prevMeta, hadMeta := a.meta[l.Var]
+
+	loIv := a.exprInterval(l.Lo)
+	hiIv := a.exprInterval(l.Hi)
+	if l.Cap != nil {
+		capIv := a.exprInterval(*l.Cap)
+		hiIv = interval{min64(hiIv.lo, capIv.lo), min64(hiIv.hi, capIv.hi)}
+	}
+	varIv := interval{loIv.lo, hiIv.hi - 1}
+	if varIv.hi < varIv.lo {
+		varIv.hi = varIv.lo
+	}
+	a.env[l.Var] = varIv
+
+	trip := a.tripCount(l, loIv, hiIv)
+	step := int64(l.Step)
+	if step <= 0 {
+		step = 1
+	}
+	meta := loopMeta{trip: trip, step: step}
+	if l.Lo.IsConst() && l.Hi.IsConst() && l.Cap == nil {
+		meta.constBounds = true
+		meta.constLo = int64(l.Lo.Const)
+		meta.constHi = int64(l.Hi.Const)
+	}
+	a.meta[l.Var] = meta
+
+	// Reserve this loop's report slot now so reports come out pre-order.
+	slot := len(a.loops)
+	a.loops = append(a.loops, LoopReport{Var: l.Var, Depth: a.depth, Trip: trip})
+	a.depth++
+	lb := a.analyzeBody(l.Body)
+	a.depth--
+
+	// Per level: footprint of one body iteration, then fit-or-multiply.
+	// The footprints are measured with the loop variable fixed (one body
+	// iteration), before l.Var joins the varying set.
+	type groupFoot struct {
+		lines  float64
+		stride int64
+	}
+	var fits [numLevels]bool
+	var foot [numLevels]float64
+	var gf [numLevels][]groupFoot
+	var detail string
+	for lv := 0; lv < numLevels; lv++ {
+		gf[lv] = make([]groupFoot, len(lb.groups))
+		var parts []string
+		for gi, g := range lb.groups {
+			fl, sb := a.footLines(g, lb.vars, lv)
+			gf[lv][gi] = groupFoot{lines: fl, stride: sb}
+			foot[lv] += fl * float64(a.block[lv])
+			if lv == levelL1 {
+				parts = append(parts, fmt.Sprintf("%s:%.0f", groupLabel(g), fl))
+			}
+		}
+		fits[lv] = foot[lv] <= float64(a.capb[lv])
+		if lv == levelL1 && len(parts) > 0 {
+			detail = strings.Join(parts, "+") + " L1-lines"
+		}
+	}
+	withVar := lb.vars
+	withVar[l.Var] = true
+	var capturedAll [numLevels]bool
+	for lv := 0; lv < numLevels; lv++ {
+		capturedAll[lv] = fits[lv]
+		for gi, g := range lb.groups {
+			if g.opaque {
+				continue // recomputed closed-form after acc scaling
+			}
+			// A group's reuse is captured only if the whole body
+			// footprint fits the level *and* the group's own stride
+			// pattern doesn't conflict-overflow its cache sets (a
+			// column walk "fits" 32 KB by volume yet thrashes a 4-way
+			// cache because a large power-of-two stride lands every
+			// line in a handful of sets).
+			captured := fits[lv] && gf[lv][gi].lines <= a.conflictLines(lv, gf[lv][gi].stride)
+			if captured {
+				ln, _ := a.lines(g, withVar, lv)
+				// Distinct lines are compulsory misses; they can never
+				// exceed the group's accesses across this loop's range.
+				g.M[lv] = math.Min(ln, trip*g.acc)
+			} else {
+				g.M[lv] = trip * g.M[lv]
+				capturedAll[lv] = false
+			}
+		}
+	}
+	for _, g := range lb.groups {
+		g.acc *= trip
+		if g.opaque {
+			g.vals += trip - 1
+			for lv := 0; lv < numLevels; lv++ {
+				g.M[lv] = a.opaqueMisses(g, lv)
+			}
+		}
+	}
+	lb.acc *= trip
+	lb.instr = loopir.LoopSetupCost + trip*(loopir.LoopIterCost+lb.instr)
+
+	a.loops[slot].DistBytes = foot[levelL1]
+	a.loops[slot].CapturedL1 = capturedAll[levelL1]
+	a.loops[slot].CapturedL2 = capturedAll[levelL2]
+	a.loops[slot].CapturedTLB = capturedAll[levelTLB]
+	a.loops[slot].Detail = detail
+
+	// Keep the variable's interval visible to enclosing levels (groups
+	// that bubble up still reference it); restore only a shadowed outer
+	// binding. Sibling loops reusing a name overwrite each other — the
+	// last binding wins, which is harmless because bubbled groups from
+	// the earlier sibling see an interval of the same shape.
+	if hadIv {
+		a.env[l.Var] = prevIv
+	}
+	if hadMeta {
+		a.meta[l.Var] = prevMeta
+	}
+	return lb
+}
+
+// tripCount predicts the loop's trip count. Constant bounds are exact;
+// tiled element loops (Lo = ctrlVar, Cap = ctrlVar + T) average exactly
+// over the control loop's tiles; other symbolic bounds use interval
+// midpoints (exact on average for bounds linear in one outer variable,
+// e.g. triangular nests).
+func (a *analyzer) tripCount(l *loopir.Loop, loIv, hiIv interval) float64 {
+	step := float64(l.Step)
+	if step <= 0 {
+		step = 1
+	}
+	if l.Lo.IsConst() && l.Hi.IsConst() && l.Cap == nil {
+		t := float64(l.Hi.Const - l.Lo.Const)
+		if t < 0 {
+			t = 0
+		}
+		return math.Ceil(t / step)
+	}
+	// Tiled element loop: for v = ctrl .. min(Hi, ctrl+T). Its average
+	// trip is (total element iterations) / (control trips), exactly.
+	if l.Cap != nil && len(l.Lo.Terms) == 1 && l.Lo.Terms[0].Coeff == 1 && l.Lo.Const == 0 {
+		ctrl := l.Lo.Terms[0].Var
+		d := l.Cap.Add(l.Lo.Scale(-1))
+		if cm, ok := a.meta[ctrl]; ok && cm.constBounds && cm.trip > 0 && d.IsConst() && d.Const > 0 && l.Hi.IsConst() {
+			hi := min64(int64(l.Hi.Const), cm.constHi)
+			total := float64(hi - cm.constLo)
+			if total < 0 {
+				total = 0
+			}
+			return total / cm.trip / step
+		}
+	}
+	// Midpoint model: exact on average for bounds linear in an outer
+	// variable (triangular nests), so the fractional value is kept.
+	t := hiIv.mid() - loIv.mid()
+	if t < 0 {
+		t = 0
+	}
+	return t / step
+}
+
+// addRef folds one static reference into the body's groups.
+func (a *analyzer) addRef(b *body, r loopir.Ref) {
+	k := gkey{arr: r.Array, scalar: r.Scalar}
+	opaque := !r.Class.Analyzable()
+	switch {
+	case r.Class == loopir.ClassScalar:
+		k.sig = "scalar"
+	case opaque:
+		k.sig = "opaque:" + r.Class.String()
+	default:
+		k.sig = subsSignature(r.Subs)
+	}
+	i, ok := b.index[k]
+	if !ok {
+		i = len(b.groups)
+		g := &group{key: k, class: r.Class, opaque: opaque}
+		if r.Class == loopir.ClassAffine {
+			g.subs = r.Subs
+			g.offs = make([][]int64, len(r.Subs))
+			for d, s := range r.Subs {
+				g.offs[d] = []int64{int64(s.Const)}
+			}
+		}
+		b.groups = append(b.groups, g)
+		b.index[k] = i
+	} else if r.Class == loopir.ClassAffine {
+		g := b.groups[i]
+		for d, s := range r.Subs {
+			g.offs[d] = insertSorted(g.offs[d], int64(s.Const))
+		}
+	}
+	b.groups[i].acc++
+	if opaque {
+		b.groups[i].vals++
+	}
+	b.acc++
+}
+
+// merge folds a child body (already scaled by its loop) into the parent.
+func (b *body) merge(child *body) {
+	for _, g := range child.groups {
+		i, ok := b.index[g.key]
+		if !ok {
+			b.groups = append(b.groups, g)
+			b.index[g.key] = len(b.groups) - 1
+			continue
+		}
+		dst := b.groups[i]
+		dst.acc += g.acc
+		dst.vals += g.vals
+		for lv := 0; lv < numLevels; lv++ {
+			dst.M[lv] += g.M[lv]
+		}
+		for d := range g.offs {
+			for _, off := range g.offs[d] {
+				dst.offs[d] = insertSorted(dst.offs[d], off)
+			}
+		}
+	}
+	b.acc += child.acc
+	b.instr += child.instr
+	for v := range child.vars {
+		b.vars[v] = true
+	}
+}
+
+// lines returns the number of level-lv lines the group touches while the
+// variables in vars range over their intervals (everything else fixed).
+// This is the workhorse: per dimension it computes the span and the step
+// (gcd of coefficient*loop-step products and constant-offset differences)
+// of the subscript's value set, multiplies the per-dimension distinct
+// counts, and converts elements to lines through the densest dimension's
+// byte step. The result is clamped by the array's physical line span, so
+// over-approximations never exceed the declared footprint.
+// It also returns the group's minimum varying byte stride, which the
+// caller's conflict model needs.
+func (a *analyzer) lines(g *group, vars map[string]bool, lv int) (float64, int64) {
+	if g.key.scalar != nil {
+		return 1, 1
+	}
+	arr := g.key.arr
+	B := a.block[lv]
+	if g.opaque {
+		return math.Min(g.acc, a.arrayLines(arr, lv)), int64(arr.Elem)
+	}
+	distinct := 1.0
+	minStep := int64(math.MaxInt64)
+	// varAgg tracks each varying variable across dimensions: a variable
+	// that appears in more than one subscript (a diagonal walk like
+	// A[i][2i]) correlates the dimensions, and the per-dimension product
+	// below would square its contribution.
+	type varAgg struct {
+		dims    int
+		linStep int64 // signed Σ_d coeff·stride(d), in elements
+		vstep   int64
+		iv      interval
+	}
+	var aggs []*varAgg
+	byVar := map[string]*varAgg{}
+	correlated := false
+	for d := range g.subs {
+		var termLo, termHi, gcdv int64
+		for _, t := range g.subs[d].Terms {
+			if !vars[t.Var] {
+				continue
+			}
+			iv, ok := a.env[t.Var]
+			if !ok {
+				continue
+			}
+			c := int64(t.Coeff)
+			x, y := c*iv.lo, c*iv.hi
+			if x > y {
+				x, y = y, x
+			}
+			termLo += x
+			termHi += y
+			vstep := int64(1)
+			if m, ok := a.meta[t.Var]; ok {
+				vstep = m.step
+			}
+			gcdv = gcd64(gcdv, abs64(c)*vstep)
+			va := byVar[t.Var]
+			if va == nil {
+				va = &varAgg{vstep: vstep, iv: iv}
+				byVar[t.Var] = va
+				aggs = append(aggs, va)
+			}
+			va.dims++
+			if va.dims > 1 {
+				correlated = true
+			}
+			va.linStep += c * arr.Stride(d)
+		}
+		offs := g.offs[d]
+		cLo, cHi := offs[0], offs[len(offs)-1]
+		for _, off := range offs[1:] {
+			gcdv = gcd64(gcdv, off-offs[0])
+		}
+		span := (termHi - termLo) + (cHi - cLo)
+		if span <= 0 {
+			continue
+		}
+		dd := float64(span)/float64(gcdv) + 1
+		distinct *= dd
+		if sb := gcdv * arr.Stride(d); sb < minStep {
+			minStep = sb
+		}
+	}
+	if correlated {
+		// Count index tuples, not the dimension rectangle, and step by the
+		// linearized per-iteration address delta. A variable whose dimension
+		// contributions cancel does not move the address and drops out.
+		distinct = 1.0
+		minStep = int64(math.MaxInt64)
+		for _, va := range aggs {
+			if va.linStep == 0 {
+				continue
+			}
+			distinct *= float64((va.iv.hi-va.iv.lo)/va.vstep) + 1
+			if sb := abs64(va.linStep) * va.vstep; sb < minStep {
+				minStep = sb
+			}
+		}
+		for d := range g.offs {
+			if n := len(g.offs[d]); n > 1 {
+				distinct *= float64(n)
+			}
+		}
+	}
+	rawStride := int64(arr.Elem)
+	if minStep != int64(math.MaxInt64) {
+		rawStride = minStep * int64(arr.Elem)
+	}
+	if rawStride < 1 {
+		rawStride = 1
+	}
+	stepBytes := rawStride
+	if stepBytes > B {
+		stepBytes = B
+	}
+	ln := math.Ceil(distinct * float64(stepBytes) / float64(B))
+	if ln < 1 {
+		ln = 1
+	}
+	return math.Min(ln, a.arrayLines(arr, lv)), rawStride
+}
+
+// footLines is the group's contribution to a body's one-iteration footprint
+// at level lv, in lines, plus the group's varying byte stride.
+func (a *analyzer) footLines(g *group, vars map[string]bool, lv int) (float64, int64) {
+	if g.key.scalar != nil {
+		return 1, 1
+	}
+	if g.opaque {
+		d := math.Max(g.acc, 1)
+		if g.vals > 0 {
+			d = math.Min(d, g.vals)
+		}
+		return math.Min(d, a.arrayLines(g.key.arr, lv)), int64(g.key.arr.Elem)
+	}
+	return a.lines(g, vars, lv)
+}
+
+// conflictLines is the number of lines of level lv that a reference stream
+// with the given byte stride can actually keep resident: a stride of S
+// bytes only reaches sets/gcd(S/B, sets) of the cache's sets, each assoc
+// ways deep. Full capacity when the stride is under a block or the level
+// has no set structure.
+func (a *analyzer) conflictLines(lv int, strideBytes int64) float64 {
+	B := a.block[lv]
+	all := float64(a.capb[lv] / B)
+	as := a.assoc[lv]
+	if as <= 0 {
+		return all
+	}
+	sets := a.capb[lv] / (B * as)
+	if sets <= 1 {
+		return all
+	}
+	sb := strideBytes / B
+	if sb <= 1 {
+		return all
+	}
+	return float64(sets / gcd64(sb, sets) * as)
+}
+
+// arrayLines is the array's physical footprint in level-lv lines under its
+// current layout (padding included via strides).
+func (a *analyzer) arrayLines(arr *mem.Array, lv int) float64 {
+	span := int64(arr.Elem)
+	for d, n := range arr.Dims {
+		span += int64(n-1) * arr.Stride(d) * int64(arr.Elem)
+	}
+	return math.Ceil(float64(span) / float64(a.block[lv]))
+}
+
+// opaqueMisses is the point estimate for an opaque group: its accesses
+// land somewhere inside the declared array, so the true misses sit in
+// [min(acc,1), acc] — the bracket MissesLo/MissesHi reports. The point
+// estimate additionally assumes the opaque index function has rank 1 in
+// the iteration vector (a wavefront or hash-of-sum gather, the common
+// shape for irregular kernels): the distinct addresses then grow with the
+// sum of enclosing trip counts (g.vals), not their product. Compulsory
+// misses cover that distinct set; accesses beyond it miss again only for
+// the fraction of the touched footprint the level cannot hold.
+func (a *analyzer) opaqueMisses(g *group, lv int) float64 {
+	arr := g.key.arr
+	f := a.arrayLines(arr, lv)
+	d := math.Min(g.acc, f)
+	if g.vals > 0 {
+		d = math.Min(d, g.vals)
+	}
+	if d < 1 {
+		d = 1
+	}
+	fbytes := d * float64(a.block[lv])
+	if fbytes <= float64(a.capb[lv]) {
+		return d
+	}
+	return d + (g.acc-d)*(1-float64(a.capb[lv])/fbytes)
+}
+
+func groupLabel(g *group) string {
+	if g.key.scalar != nil {
+		return g.key.scalar.Name
+	}
+	return g.key.arr.Name
+}
+
+// subsSignature renders the variable part of a subscript list; constants
+// are excluded so offset-shifted references (A[i], A[i+1]) share a group.
+func subsSignature(subs []loopir.Expr) string {
+	var b strings.Builder
+	for d, s := range subs {
+		if d > 0 {
+			b.WriteByte('|')
+		}
+		for i, t := range s.Terms {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			fmt.Fprintf(&b, "%d*%s", t.Coeff, t.Var)
+		}
+	}
+	return b.String()
+}
+
+// exprInterval evaluates the expression's value range over the current
+// variable intervals (unbound variables contribute zero, matching Eval).
+func (a *analyzer) exprInterval(e loopir.Expr) interval {
+	iv := interval{int64(e.Const), int64(e.Const)}
+	for _, t := range e.Terms {
+		v, ok := a.env[t.Var]
+		if !ok {
+			continue
+		}
+		c := int64(t.Coeff)
+		x, y := c*v.lo, c*v.hi
+		if x > y {
+			x, y = y, x
+		}
+		iv.lo += x
+		iv.hi += y
+	}
+	return iv
+}
+
+func insertSorted(s []int64, v int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func sortedUnique(s []string) []string {
+	sort.Strings(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func gcd64(a, b int64) int64 {
+	a, b = abs64(a), abs64(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -12,6 +12,10 @@ type Options struct {
 	Layout bool
 	// Tiling enables iteration-space tiling against CacheBudget.
 	Tiling bool
+	// PCOT replaces geometry-driven tiling with cache-oblivious √N tiling
+	// (PCOT, arXiv 1802.00166): tile sizes are chosen without consulting
+	// BlockBytes or CacheBudget. When set it takes precedence over Tiling.
+	PCOT bool
 	// UnrollJam enables unroll-and-jam of the second-innermost loop.
 	UnrollJam bool
 	// ScalarRepl enables register promotion of innermost-invariant
@@ -99,7 +103,12 @@ func Optimize(p *loopir.Program, o Options) Stats {
 	// handle (updated by Tile) keeps the later passes valid.
 	for _, n := range analyzable {
 		touched := false
-		if o.Tiling {
+		if o.PCOT {
+			if tiles := pcotPlan(n); tiles != nil && Tile(n, tiles) {
+				st.Tiled++
+				touched = true
+			}
+		} else if o.Tiling {
 			if tiles := tilePlan(n, o.CacheBudget); tiles != nil && Tile(n, tiles) {
 				st.Tiled++
 				touched = true

@@ -1,0 +1,80 @@
+package opt
+
+import "selcache/internal/loopir"
+
+// pcotPlan is the cache-oblivious alternative to tilePlan, after PCOT
+// (arXiv 1802.00166): instead of shrinking tiles against a known cache
+// budget, it picks √N tiles so that the tile working set scales as the
+// square root of the traversal — balanced recursive subdivision flattened
+// to one tiling level. The detection of *which* loops benefit is shared
+// with tilePlan (some reference's traversal must be repeated by an outer
+// loop); only the tile-size policy differs: no cache geometry is consulted.
+func pcotPlan(n *Nest) map[int]int {
+	inner := n.Innermost().Var
+	walked := map[int]bool{}
+	repeats := false
+	for _, ref := range n.Refs() {
+		if ref.Class != loopir.ClassAffine {
+			continue
+		}
+		kind, _, _ := refReuse(ref, inner)
+		if kind == ReuseTemporal {
+			continue
+		}
+		carried := false
+		for li, l := range n.Loops[:n.Depth()-1] {
+			k, _, _ := refReuse(ref, l.Var)
+			if k == ReuseTemporal {
+				carried = true
+			} else {
+				walked[li] = true
+			}
+		}
+		if carried {
+			repeats = true
+		}
+	}
+	if !repeats {
+		return nil
+	}
+	cands := make([]int, 0, n.Depth())
+	for li := range n.Loops[:n.Depth()-1] {
+		if walked[li] {
+			cands = append(cands, li)
+		}
+	}
+	cands = append(cands, n.Depth()-1)
+
+	tiles := map[int]int{}
+	for _, li := range cands {
+		t, ok := n.TripCount(li)
+		if !ok {
+			t = 1 << 10
+		}
+		tile := isqrt(t)
+		if tile < minTile {
+			tile = minTile
+		}
+		if tile < t {
+			tiles[li] = tile
+		}
+	}
+	if len(tiles) == 0 {
+		return nil
+	}
+	return tiles
+}
+
+// isqrt returns floor(sqrt(n)) for n >= 0.
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}

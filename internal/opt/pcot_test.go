@@ -1,0 +1,102 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"selcache/internal/loopir"
+	"selcache/internal/mem"
+)
+
+// pcotMatmul builds the canonical repeated-traversal nest PCOT targets.
+func pcotMatmul(n int) *loopir.Program {
+	s := mem.NewSpace()
+	a := mem.NewArray(s, "A", 8, n, n)
+	b := mem.NewArray(s, "B", 8, n, n)
+	c := mem.NewArray(s, "C", 8, n, n)
+	i, j, k := loopir.VarExpr("i"), loopir.VarExpr("j"), loopir.VarExpr("k")
+	return &loopir.Program{Name: "matmul", Body: []loopir.Node{
+		loopir.ForLoop("i", n,
+			loopir.ForLoop("j", n,
+				loopir.ForLoop("k", n,
+					&loopir.Stmt{Name: "s", Compute: 2, Refs: []loopir.Ref{
+						loopir.AffineRef(c, true, i, j),
+						loopir.AffineRef(a, false, i, k),
+						loopir.AffineRef(b, false, k, j),
+					}},
+				),
+			),
+		),
+	}}
+}
+
+func countEvents(p *loopir.Program) mem.CountingEmitter {
+	var c mem.CountingEmitter
+	loopir.Run(p, &c)
+	return c
+}
+
+// TestPCOTTilesObliviously: cache-oblivious tiling strip-mines the nest
+// with √N tiles, never consulting the cache budget, and preserves the
+// program's access stream volume exactly.
+func TestPCOTTilesObliviously(t *testing.T) {
+	n := 100 // isqrt = 10, comfortably above minTile
+	ref := countEvents(pcotMatmul(n))
+
+	p := pcotMatmul(n)
+	st := Optimize(p, Options{PCOT: true, BlockBytes: 32, CacheBudget: 1}) // budget must be irrelevant
+	if st.Tiled != 1 {
+		t.Fatalf("PCOT tiled %d nests, want 1:\n%s", st.Tiled, p.String())
+	}
+	if err := loopir.Validate(p); err != nil {
+		t.Fatalf("tiled program invalid: %v", err)
+	}
+	rendered := p.String()
+	if !strings.Contains(rendered, "#T") {
+		t.Fatalf("no control loops in tiled program:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "step 10") {
+		t.Fatalf("expected √100 = 10 tile step:\n%s", rendered)
+	}
+	got := countEvents(p)
+	if got.Accesses() != ref.Accesses() || got.Reads != ref.Reads || got.Writes != ref.Writes {
+		t.Fatalf("tiling changed the access volume: got %d reads/%d writes, want %d/%d",
+			got.Reads, got.Writes, ref.Reads, ref.Writes)
+	}
+}
+
+// TestPCOTPrecedence: when both PCOT and Tiling are set, PCOT wins — the
+// estimator asks for the cache-oblivious shape explicitly.
+func TestPCOTPrecedence(t *testing.T) {
+	p := pcotMatmul(64)
+	Optimize(p, Options{PCOT: true, Tiling: true, BlockBytes: 32, CacheBudget: 16 << 10})
+	if !strings.Contains(p.String(), "step 8") {
+		t.Fatalf("expected √64 = 8 PCOT tiles, got:\n%s", p.String())
+	}
+}
+
+// TestPCOTSkipsStreamingNests: with no outer-carried repeated traversal
+// there is nothing to tile and the program is untouched.
+func TestPCOTSkipsStreamingNests(t *testing.T) {
+	s := mem.NewSpace()
+	a := mem.NewArray(s, "A", 8, 4096)
+	p := &loopir.Program{Name: "stream", Body: []loopir.Node{
+		loopir.ForLoop("i", 4096, &loopir.Stmt{Name: "s", Compute: 1, Refs: []loopir.Ref{
+			loopir.AffineRef(a, false, loopir.VarExpr("i")),
+		}}),
+	}}
+	before := p.String()
+	st := Optimize(p, Options{PCOT: true})
+	if st.Tiled != 0 || p.String() != before {
+		t.Fatalf("streaming nest should be untouched, tiled=%d:\n%s", st.Tiled, p.String())
+	}
+}
+
+// TestIsqrt pins the integer square root helper.
+func TestIsqrt(t *testing.T) {
+	for _, tc := range [][2]int{{0, 0}, {1, 1}, {3, 1}, {4, 2}, {99, 9}, {100, 10}, {1023, 31}, {1024, 32}} {
+		if got := isqrt(tc[0]); got != tc[1] {
+			t.Errorf("isqrt(%d) = %d, want %d", tc[0], got, tc[1])
+		}
+	}
+}

@@ -47,6 +47,12 @@ type SweepRequest struct {
 	Classify      bool     `json:"classify,omitempty"`
 	UpdateWhenOff bool     `json:"update_when_off,omitempty"`
 	TimeoutMillis int64    `json:"timeout_ms,omitempty"`
+	// EstimateTop, when positive and the server runs with -estimate-plan,
+	// prunes each (config, mechanism) sweep to its N most interesting
+	// workloads as scored by the symbolic locality estimator; the pruned
+	// names are reported in SweepResult.Pruned. Without -estimate-plan the
+	// field is rejected, so a caller cannot silently get an unpruned sweep.
+	EstimateTop int `json:"estimate_top,omitempty"`
 }
 
 // Spec is the canonical, fully-resolved identity of one simulation
@@ -82,7 +88,7 @@ func ResolveSpec(req RunRequest) (Spec, core.Options, error) {
 	if spec.Mechanism == "" {
 		spec.Mechanism = "bypass"
 	}
-	if _, ok := workloads.ByName(spec.Workload); !ok {
+	if _, ok := workloads.Resolve(spec.Workload); !ok {
 		return Spec{}, core.Options{}, fmt.Errorf("unknown workload %q", spec.Workload)
 	}
 	cfg, ok := configByName(spec.Config)
@@ -158,6 +164,10 @@ type SweepResult struct {
 	// sweep are omitted).
 	AvgImprovementPct      map[string]float64            `json:"avg_improvement_pct"`
 	ClassAvgImprovementPct map[string]map[string]float64 `json:"class_avg_improvement_pct"`
+	// Pruned lists workloads the estimate planner dropped (request order);
+	// present only when the request set estimate_top. Averages cover the
+	// simulated rows only.
+	Pruned []string `json:"pruned,omitempty"`
 }
 
 // SweepResponse is the body of a successful POST /v1/sweep.

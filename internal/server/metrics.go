@@ -31,10 +31,23 @@ type metrics struct {
 	// window is a ring of the most recent run latencies.
 	window [latencyWindow]time.Duration
 	count  uint64 // total latencies ever recorded
+
+	// estVerdicts counts served estimates per verdict ("exact",
+	// "bounded", "declined"); estWindow/estCount are the estimate
+	// latency ring, kept separate from the run ring because estimates
+	// are ~6 orders of magnitude faster and would otherwise vanish
+	// under simulation latencies.
+	estVerdicts map[string]uint64
+	estWindow   [latencyWindow]time.Duration
+	estCount    uint64
 }
 
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), requests: make(map[string]uint64)}
+	return &metrics{
+		start:       time.Now(),
+		requests:    make(map[string]uint64),
+		estVerdicts: make(map[string]uint64),
+	}
 }
 
 // request counts one handled request against an endpoint.
@@ -66,6 +79,47 @@ func (m *metrics) runCompleted(d time.Duration, events uint64) {
 	m.window[m.count%latencyWindow] = d
 	m.count++
 	m.mu.Unlock()
+}
+
+// estimateServed records one served symbolic estimate: its verdict and
+// how long the analysis took.
+func (m *metrics) estimateServed(verdict string, d time.Duration) {
+	m.mu.Lock()
+	m.estVerdicts[verdict]++
+	m.estWindow[m.estCount%latencyWindow] = d
+	m.estCount++
+	m.mu.Unlock()
+}
+
+// EstimateMetrics is the zero-cost-tier section of a metrics snapshot.
+// Latencies are in microseconds — the natural unit of a symbolic answer.
+type EstimateMetrics struct {
+	Served    uint64            `json:"served"`
+	Verdicts  map[string]uint64 `json:"verdicts"`
+	P50Micros float64           `json:"latency_p50_us"`
+	P99Micros float64           `json:"latency_p99_us"`
+}
+
+// snapshotEstimates computes the estimate section.
+func (m *metrics) snapshotEstimates() EstimateMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := EstimateMetrics{Served: m.estCount, Verdicts: make(map[string]uint64, len(m.estVerdicts))}
+	for k, v := range m.estVerdicts {
+		em.Verdicts[k] = v
+	}
+	n := m.estCount
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n > 0 {
+		lat := make([]time.Duration, n)
+		copy(lat, m.estWindow[:n])
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		em.P50Micros = quantile(lat, 0.50) * 1000
+		em.P99Micros = quantile(lat, 0.99) * 1000
+	}
+	return em
 }
 
 // RunMetrics is the simulation-execution section of a metrics snapshot.

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,6 +53,11 @@ type Config struct {
 	// DefaultTimeout bounds requests that do not set timeout_ms
 	// (0: no deadline).
 	DefaultTimeout time.Duration
+	// EstimatePlan enables the symbolic-estimator sweep planner: cells
+	// launch most-interesting-first (largest predicted cost spread across
+	// program variants) and sweeps may set estimate_top to prune the
+	// predicted-uninteresting tail.
+	EstimatePlan bool
 	// Role names this node's place in a cluster for GET /healthz
 	// ("coordinator", "worker"; empty: "standalone").
 	Role string
@@ -100,6 +106,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	s.mux = mux
@@ -185,7 +192,7 @@ func (s *Server) execute(ctx context.Context, spec Spec, o core.Options, noRemot
 					fmt.Fprintf(s.cfg.Log, "selcached: cell %s: remote execution failed, running locally: %v\n", key[:12], err)
 				}
 			}
-			w, _ := workloads.ByName(spec.Workload)
+			w, _ := workloads.Resolve(spec.Workload)
 			s.metrics.runStarted()
 			var row experiments.Row
 			start := time.Now()
@@ -292,6 +299,7 @@ type MetricsSnapshot struct {
 	ResultCache ResultCacheStats            `json:"result_cache"`
 	TraceCache  experiments.TraceCacheStats `json:"trace_cache"`
 	Runs        RunMetrics                  `json:"runs"`
+	Estimates   EstimateMetrics             `json:"estimates"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -303,6 +311,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ResultCache: s.results.snapshot(),
 		TraceCache:  s.traces.Stats(),
 		Runs:        s.metrics.snapshotRuns(s.pool.InFlight()),
+		Estimates:   s.metrics.snapshotEstimates(),
 	}
 	writeJSON(w, http.StatusOK, snap)
 }
@@ -361,9 +370,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.serveSweep(w, r, req, names, noRemote)
 }
 
+// sweepPlan is one (config, mechanism) slice of a sweep: its resolved
+// cells plus the options they share, and — under the estimate planner —
+// the workloads pruned away before execution.
+type sweepPlan struct {
+	spec0  Spec // config/mechanism identity (workload varies)
+	opts   core.Options
+	specs  []Spec
+	pruned []string
+}
+
+// cellOut is one executed cell's outcome inside a sweep.
+type cellOut struct {
+	sr  StoredResult
+	err error
+}
+
 // serveSweep resolves the request matrix, executes every cell through the
 // shared reuse tiers, and assembles per-(config, mechanism) sweeps with
-// the exact float-accumulation order of the batch drivers.
+// the exact float-accumulation order of the batch drivers. Multi-cell
+// sweeps stream: each completed sweep slice is encoded and flushed as soon
+// as its cells finish, so a Table-3-sized matrix delivers its first rows
+// while later configurations are still simulating. The streamed bytes are
+// identical to the buffered single-write encoding.
 func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, names []string, noRemote bool) {
 	configs := req.Configs
 	if len(configs) == 0 {
@@ -375,14 +404,17 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 	if len(mechs) == 0 {
 		mechs = []string{"bypass", "victim"}
 	}
+	if req.EstimateTop < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("estimate_top must be non-negative, got %d", req.EstimateTop))
+		return
+	}
+	if req.EstimateTop > 0 && !s.cfg.EstimatePlan {
+		s.fail(w, http.StatusBadRequest, errors.New("estimate_top requires a server started with -estimate-plan"))
+		return
+	}
 
 	// Resolve every cell up front so validation errors arrive before any
 	// simulation starts.
-	type sweepPlan struct {
-		spec0 Spec // config/mechanism identity (workload varies)
-		opts  core.Options
-		specs []Spec
-	}
 	var plans []sweepPlan
 	for _, cfg := range configs {
 		for _, mech := range mechs {
@@ -411,63 +443,166 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 		}
 	}
 
+	// The estimate planner scores each distinct (workload, config) cell by
+	// predicted interest — the symbolic estimate costs microseconds, so
+	// scoring an entire matrix is cheaper than one simulated iteration.
+	// The scores prune each plan to its estimate_top most interesting
+	// workloads and order the launch below. When cells are merely
+	// reordered (no estimate_top) the response bytes are unchanged,
+	// because assembly below stays in request order.
+	var memo *interestMemo
+	if s.cfg.EstimatePlan {
+		memo = newInterestMemo()
+		if req.EstimateTop > 0 {
+			for pi := range plans {
+				plans[pi].prune(req.EstimateTop, memo)
+			}
+		}
+	}
+
 	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
 	defer cancel()
 
-	// Fan every cell out at once; the pool bounds actual concurrency and
-	// the flight group collapses duplicates (a sweep listing the same
-	// workload twice costs one run).
-	type cellOut struct {
-		sr  StoredResult
-		err error
+	// Fan every cell out, most interesting first when planning; the pool
+	// bounds actual concurrency and the flight group collapses duplicates
+	// (a sweep listing the same workload twice costs one run).
+	type cellID struct{ pi, ci int }
+	var order []cellID
+	for pi := range plans {
+		for ci := range plans[pi].specs {
+			order = append(order, cellID{pi, ci})
+		}
+	}
+	if memo != nil {
+		score := func(id cellID) float64 {
+			return memo.interest(plans[id.pi].specs[id.ci], plans[id.pi].opts)
+		}
+		sort.SliceStable(order, func(a, b int) bool { return score(order[a]) > score(order[b]) })
 	}
 	results := make([][]cellOut, len(plans))
-	var wg sync.WaitGroup
+	done := make([]sync.WaitGroup, len(plans))
 	for pi := range plans {
 		results[pi] = make([]cellOut, len(plans[pi].specs))
-		for ci := range plans[pi].specs {
-			wg.Add(1)
-			go func(pi, ci int) {
-				defer wg.Done()
-				sr, _, err := s.execute(ctx, plans[pi].specs[ci], plans[pi].opts, noRemote)
-				results[pi][ci] = cellOut{sr: sr, err: err}
-			}(pi, ci)
-		}
 	}
-	wg.Wait()
+	for _, id := range order {
+		done[id.pi].Add(1)
+		go func(pi, ci int) {
+			defer done[pi].Done()
+			sr, _, err := s.execute(ctx, plans[pi].specs[ci], plans[pi].opts, noRemote)
+			results[pi][ci] = cellOut{sr: sr, err: err}
+		}(id.pi, id.ci)
+	}
 
-	resp := SweepResponse{}
-	for pi, plan := range plans {
-		rows := make([]experiments.Row, len(plan.specs))
-		sres := SweepResult{Config: plan.spec0.Config, Mechanism: plan.spec0.Mechanism}
-		for ci := range plan.specs {
-			out := results[pi][ci]
-			if out.err != nil {
-				s.fail(w, http.StatusGatewayTimeout, out.err)
+	// Single-cell sweeps keep the buffered write (nothing to overlap);
+	// anything larger streams sweep slices as they complete.
+	if len(order) <= 1 {
+		resp := SweepResponse{}
+		for pi := range plans {
+			done[pi].Wait()
+			sres, err := assembleSweep(plans[pi], results[pi])
+			if err != nil {
+				s.fail(w, http.StatusGatewayTimeout, err)
 				return
 			}
-			rows[ci] = out.sr.Row
-			sres.Rows = append(sres.Rows, out.sr.Response(""))
+			resp.Sweeps = append(resp.Sweeps, sres)
 		}
-		sw := experiments.Assemble(plan.opts, rows)
-		sres.AvgImprovementPct = make(map[string]float64, core.NumVersions)
-		for _, v := range core.Versions() {
-			sres.AvgImprovementPct[v.String()] = sw.Avg[v]
-		}
-		sres.ClassAvgImprovementPct = make(map[string]map[string]float64)
-		for c := 0; c < workloads.NumClasses; c++ {
-			if sw.ClassCount[c] == 0 {
-				continue
-			}
-			byV := make(map[string]float64, core.NumVersions)
-			for _, v := range core.Versions() {
-				byV[v.String()] = sw.ClassAvg[c][v]
-			}
-			sres.ClassAvgImprovementPct[workloads.Class(c).String()] = byV
-		}
-		resp.Sweeps = append(resp.Sweeps, sres)
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+
+	wrote := false
+	for pi := range plans {
+		done[pi].Wait()
+		sres, err := assembleSweep(plans[pi], results[pi])
+		var b []byte
+		if err == nil {
+			b, err = json.Marshal(sres)
+		}
+		if err != nil {
+			if !wrote {
+				s.fail(w, http.StatusGatewayTimeout, err)
+				return
+			}
+			// The status line and earlier sweeps are already on the wire;
+			// the only honest signal left is an aborted connection.
+			fmt.Fprintf(s.cfg.Log, "selcached: 504 mid-stream: %v\n", err)
+			panic(http.ErrAbortHandler)
+		}
+		if !wrote {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, `{"sweeps":[`)
+			wrote = true
+		} else {
+			io.WriteString(w, ",")
+		}
+		w.Write(b)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	io.WriteString(w, "]}\n")
+}
+
+// prune keeps the plan's top-N workloads by estimated interest (ties
+// resolved toward request order), preserving request order among the
+// survivors, and records the dropped names.
+func (p *sweepPlan) prune(top int, memo *interestMemo) {
+	if top >= len(p.specs) {
+		return
+	}
+	idx := make([]int, len(p.specs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return memo.interest(p.specs[idx[a]], p.opts) > memo.interest(p.specs[idx[b]], p.opts)
+	})
+	keep := make([]bool, len(p.specs))
+	for _, i := range idx[:top] {
+		keep[i] = true
+	}
+	kept := p.specs[:0]
+	for i, spec := range p.specs {
+		if keep[i] {
+			kept = append(kept, spec)
+		} else {
+			p.pruned = append(p.pruned, spec.Workload)
+		}
+	}
+	p.specs = kept
+}
+
+// assembleSweep renders one finished (config, mechanism) slice with the
+// exact float-accumulation order of the batch drivers.
+func assembleSweep(plan sweepPlan, outs []cellOut) (SweepResult, error) {
+	rows := make([]experiments.Row, len(plan.specs))
+	sres := SweepResult{Config: plan.spec0.Config, Mechanism: plan.spec0.Mechanism, Pruned: plan.pruned}
+	for ci := range plan.specs {
+		out := outs[ci]
+		if out.err != nil {
+			return SweepResult{}, out.err
+		}
+		rows[ci] = out.sr.Row
+		sres.Rows = append(sres.Rows, out.sr.Response(""))
+	}
+	sw := experiments.Assemble(plan.opts, rows)
+	sres.AvgImprovementPct = make(map[string]float64, core.NumVersions)
+	for _, v := range core.Versions() {
+		sres.AvgImprovementPct[v.String()] = sw.Avg[v]
+	}
+	sres.ClassAvgImprovementPct = make(map[string]map[string]float64)
+	for c := 0; c < workloads.NumClasses; c++ {
+		if sw.ClassCount[c] == 0 {
+			continue
+		}
+		byV := make(map[string]float64, core.NumVersions)
+		for _, v := range core.Versions() {
+			byV[v.String()] = sw.ClassAvg[c][v]
+		}
+		sres.ClassAvgImprovementPct[workloads.Class(c).String()] = byV
+	}
+	return sres, nil
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,70 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"selcache/internal/workloads/synth"
+)
+
+// TestResolveNamedBenchmark: Resolve must cover everything ByName covers.
+func TestResolveNamedBenchmark(t *testing.T) {
+	for _, want := range All() {
+		got, ok := Resolve(want.Name)
+		if !ok || got.Name != want.Name || got.Class != want.Class {
+			t.Fatalf("Resolve(%q) = %+v/%v", want.Name, got.Name, ok)
+		}
+	}
+}
+
+// TestResolveSynthetic: a "family#seed" name synthesizes the kernel, maps
+// the family mix onto the benchmark class taxonomy, and builds the same
+// program as synth.Make.
+func TestResolveSynthetic(t *testing.T) {
+	fam := synth.Families()[0]
+	name := fam.Name() + "#7"
+	w, ok := Resolve(name)
+	if !ok {
+		t.Fatalf("Resolve(%q) failed", name)
+	}
+	if w.Name != name {
+		t.Fatalf("resolved name %q, want %q", w.Name, name)
+	}
+	k, err := synth.Make(fam, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Build().String(), k.Build().String(); got != want {
+		t.Fatalf("resolved program differs from synth.Make:\n%s\nvs\n%s", got, want)
+	}
+	if !strings.Contains(w.Models, k.Fingerprint[:12]) {
+		t.Fatalf("Models %q does not carry the fingerprint", w.Models)
+	}
+	wantClass := Mixed
+	switch fam.Class.Mix {
+	case synth.MixAffine:
+		wantClass = Regular
+	case synth.MixIrregular:
+		wantClass = Irregular
+	}
+	if w.Class != wantClass {
+		t.Fatalf("class %v, want %v", w.Class, wantClass)
+	}
+}
+
+// TestResolveRejects pins the failure modes: no '#', unknown family, and
+// a seed that is not an unsigned integer.
+func TestResolveRejects(t *testing.T) {
+	fam := synth.Families()[0].Name()
+	for _, name := range []string{
+		"not-a-workload",
+		"no/such/family#3",
+		fam + "#",
+		fam + "#-1",
+		fam + "#seven",
+	} {
+		if _, ok := Resolve(name); ok {
+			t.Errorf("Resolve(%q) succeeded, want failure", name)
+		}
+	}
+}

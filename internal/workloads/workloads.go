@@ -13,8 +13,11 @@ package workloads
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"selcache/internal/loopir"
+	"selcache/internal/workloads/synth"
 )
 
 // Class is the paper's access-pattern categorization (Section 4.2).
@@ -90,6 +93,47 @@ func ByName(name string) (Workload, bool) {
 		}
 	}
 	return Workload{}, false
+}
+
+// Resolve extends ByName to the generative corpus: a name of the form
+// "family#seed" (e.g. "deep/affine/large/unit#7") synthesizes the kernel
+// by name, so services can address synthetic kernels with the same cell
+// keys as the 13 named benchmarks — content-addressed caching and
+// consistent-hash sharding need nothing new, because the name fully
+// determines the program.
+func Resolve(name string) (Workload, bool) {
+	if w, ok := ByName(name); ok {
+		return w, true
+	}
+	i := strings.LastIndexByte(name, '#')
+	if i < 0 {
+		return Workload{}, false
+	}
+	f, ok := synth.FamilyByName(name[:i])
+	if !ok {
+		return Workload{}, false
+	}
+	seed, err := strconv.ParseUint(name[i+1:], 10, 64)
+	if err != nil {
+		return Workload{}, false
+	}
+	k, err := synth.Make(f, seed)
+	if err != nil {
+		return Workload{}, false
+	}
+	class := Mixed
+	switch f.Class.Mix {
+	case synth.MixAffine:
+		class = Regular
+	case synth.MixIrregular:
+		class = Irregular
+	}
+	return Workload{
+		Name:   k.Name(),
+		Class:  class,
+		Models: "synthetic " + k.Family + " (fingerprint " + k.Fingerprint[:12] + ")",
+		Build:  k.Build,
+	}, true
 }
 
 // ByClass filters benchmarks by class.
