@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke validate-smoke validate corpus corpus-smoke estimate-smoke tier1
+.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke loadgen-smoke loadgen-bench validate-smoke validate corpus corpus-smoke estimate-smoke tier1
 
-check: vet build race bench-smoke serve-smoke cluster-smoke validate-smoke corpus-smoke estimate-smoke fuzz-smoke
+check: vet build race bench-smoke serve-smoke cluster-smoke loadgen-smoke validate-smoke corpus-smoke estimate-smoke fuzz-smoke
 
 # tier1 is the fast gate the roadmap requires of every change.
 tier1:
@@ -62,6 +62,28 @@ cluster-smoke:
 	$(GO) build -o /tmp/selcached-smoke ./cmd/selcached
 	sh scripts/cluster-smoke.sh /tmp/selcached-smoke
 	rm -f /tmp/selcached-smoke
+
+# Fixed-seed open-loop traffic against a deliberately narrow daemon:
+# plan rendering must be byte-identical across runs, the warm phase must
+# serve from the memory tier, the overload burst must shed with 429 +
+# Retry-After, and a second loadgen process must observe byte-identical
+# response bodies (scripts/loadgen-smoke.sh, docs/SERVICE.md).
+loadgen-smoke:
+	$(GO) build -o /tmp/selcached-smoke ./cmd/selcached
+	$(GO) build -o /tmp/loadgen-smoke ./cmd/loadgen
+	sh scripts/loadgen-smoke.sh /tmp/selcached-smoke /tmp/loadgen-smoke
+	rm -f /tmp/selcached-smoke /tmp/loadgen-smoke
+
+# Regenerate the committed BENCH_loadgen.json: one deterministic traffic
+# plan measured cold, warm, peer-served and under overload, with per-cell
+# body hashes proving byte-identity across regimes and processes
+# (scripts/loadgen-bench.sh). Wall times and latencies are host
+# measurements — expect them to differ run to run.
+loadgen-bench:
+	$(GO) build -o /tmp/selcached-bench ./cmd/selcached
+	$(GO) build -o /tmp/loadgen-bench ./cmd/loadgen
+	sh scripts/loadgen-bench.sh /tmp/selcached-bench /tmp/loadgen-bench BENCH_loadgen.json
+	rm -f /tmp/selcached-bench /tmp/loadgen-bench
 
 # Differential-oracle spot check: one workload per access-pattern class,
 # every version and both hardware mechanisms, engine vs naive reference in

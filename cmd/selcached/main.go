@@ -97,6 +97,8 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 		cachedir = fs.String("cachedir", "", "persist simulation results as <key>.json files in `dir`")
 		entries  = fs.Int("cache-entries", 4096, "in-memory result cache capacity")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "default per-request deadline (0: none)")
+		backlog  = fs.Int("max-backlog", 0, "queued-simulation bound before shedding with 429 (0: 16x workers, at least 256)")
+		bgFills  = fs.Int("max-bg-fills", 0, "bound on background cache fills for timed-out requests (0: worker count; negative: none)")
 		estPlan  = fs.Bool("estimate-plan", false, "order sweep cells by symbolic-estimator interest and allow estimate_top pruning")
 
 		workerMode = fs.Bool("worker", false, "run as a cluster worker (requires -join)")
@@ -104,6 +106,7 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 		advertise  = fs.String("advertise", "", "base `URL` other nodes reach this node at (default http://<bound addr>)")
 		healthInt  = fs.Duration("health-interval", 3*time.Second, "cluster liveness cadence: coordinator probe interval, worker announce interval")
 		hedgeAfter = fs.Duration("hedge-after", 10*time.Second, "coordinator: duplicate a straggling cell to another worker after this long (negative disables)")
+		peerWait   = fs.Duration("peer-timeout", time.Second, "coordinator: bound one peer-cache fetch from the ring owner (negative disables the peer tier)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,14 +126,16 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 		role = "worker"
 	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		TraceDir:       *tracedir,
-		CacheDir:       *cachedir,
-		CacheEntries:   *entries,
-		DefaultTimeout: *timeout,
-		EstimatePlan:   *estPlan,
-		Role:           role,
-		Log:            stderr,
+		Workers:            *workers,
+		TraceDir:           *tracedir,
+		CacheDir:           *cachedir,
+		CacheEntries:       *entries,
+		DefaultTimeout:     *timeout,
+		MaxBacklog:         *backlog,
+		MaxBackgroundFills: *bgFills,
+		EstimatePlan:       *estPlan,
+		Role:               role,
+		Log:                stderr,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -161,9 +166,11 @@ func runServe(args []string, stdout, stderr io.Writer, ready chan<- string) erro
 			Self:           self,
 			HealthInterval: *healthInt,
 			HedgeAfter:     *hedgeAfter,
+			PeerTimeout:    *peerWait,
 			Log:            stderr,
 		})
 		srv.SetRemote(coord.Execute)
+		srv.SetPeerFetch(coord.FetchCached)
 		coord.Register(srv.Mux())
 	}
 

@@ -80,6 +80,12 @@ type Config struct {
 	// primary has not answered within this long; the first answer wins
 	// (0: 10s; negative disables hedging).
 	HedgeAfter time.Duration
+	// PeerTimeout bounds one peer-cache fetch (GET /v1/results/{key} on
+	// the ring owner). Peer fetches only read an existing cache entry, so
+	// this is deliberately tight: a slow owner falls through to the next
+	// tier instead of stalling the request (0: 1s; negative disables the
+	// peer tier).
+	PeerTimeout time.Duration
 	// MaxInFlight bounds concurrent forwarded cells per worker (0: 16).
 	MaxInFlight int
 	// VNodes is the number of virtual nodes per worker on the hash ring
@@ -115,6 +121,9 @@ func (cfg *Config) applyDefaults() {
 	if cfg.HedgeAfter == 0 {
 		cfg.HedgeAfter = 10 * time.Second
 	}
+	if cfg.PeerTimeout == 0 {
+		cfg.PeerTimeout = time.Second
+	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 16
 	}
@@ -146,6 +155,12 @@ type Stats struct {
 	// LocalFallbacks counts cells handed back to the coordinator's local
 	// engine after the cluster could not place them.
 	LocalFallbacks uint64 `json:"local_fallbacks"`
+	// PeerFetches counts peer-cache lookups attempted, PeerHits the ones
+	// that returned a validated cached result, and PeerErrors the ones
+	// that failed for any reason other than a clean 404 miss.
+	PeerFetches uint64 `json:"peer_fetches"`
+	PeerHits    uint64 `json:"peer_hits"`
+	PeerErrors  uint64 `json:"peer_errors"`
 }
 
 // worker is one registered node. The semaphore is created at join time
@@ -171,6 +186,7 @@ type Coordinator struct {
 	cfg    Config
 	client *http.Client // forwarded cells, AttemptTimeout-bounded
 	probe  *http.Client // health probes, HealthTimeout-bounded
+	peers  *http.Client // peer-cache fetches, PeerTimeout-bounded; nil disables the tier
 
 	mu      sync.Mutex
 	workers map[string]*worker
@@ -191,6 +207,9 @@ func New(cfg Config) *Coordinator {
 		probe:   &http.Client{Timeout: cfg.HealthTimeout},
 		workers: make(map[string]*worker),
 		stop:    make(chan struct{}),
+	}
+	if cfg.PeerTimeout > 0 {
+		c.peers = &http.Client{Timeout: cfg.PeerTimeout}
 	}
 	c.wg.Add(1)
 	go c.healthLoop()

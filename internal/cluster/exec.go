@@ -250,7 +250,10 @@ func rowFromResponse(spec server.Spec, key string, rr server.RunResponse) (exper
 	if len(rr.Versions) != core.NumVersions {
 		return experiments.Row{}, fmt.Errorf("worker answered %d versions, want %d", len(rr.Versions), core.NumVersions)
 	}
-	wl, ok := workloads.ByName(spec.Workload)
+	// Resolve, not ByName: synthetic "family#seed" cells are first-class
+	// citizens of the cluster — ByName here silently demoted every one of
+	// them to a failed attempt and a local fallback.
+	wl, ok := workloads.Resolve(spec.Workload)
 	if !ok {
 		return experiments.Row{}, fmt.Errorf("unknown workload %q", spec.Workload)
 	}

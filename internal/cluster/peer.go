@@ -1,0 +1,87 @@
+// peer.go is the peer-fetch tier of the result-cache hierarchy: before a
+// node commits to executing a missing cell (remotely or locally), it asks
+// the cell's ring owner whether the result is already sitting in that
+// owner's cache. The fetch is GET /v1/results/{key} — an endpoint that
+// only ever reads the owner's memory/disk tiers — so a peer fetch can
+// never trigger execution anywhere; it either returns a finished result
+// cheaply or gets out of the way fast. That makes it safe to bound far
+// tighter than a forwarded run: PeerTimeout defaults to one second where
+// AttemptTimeout allows minutes, and a slow or dead owner just means the
+// lookup falls through to the next tier (remote execution with its own
+// retry/hedge machinery, then the local engine).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"selcache/internal/server"
+)
+
+// FetchCached asks the ring owner of spec's key for an already-cached
+// result. It satisfies server.PeerFetchFunc: ok reports a validated hit;
+// a miss (404), timeout, transport error, malformed body, or an empty
+// ring all return false, sending the lookup to the next tier. A peer
+// answer is validated exactly like a remote execution — echoed key,
+// version count, canonical order — so a skewed peer fails closed.
+func (c *Coordinator) FetchCached(spec server.Spec) (server.StoredResult, bool) {
+	if c.peers == nil {
+		return server.StoredResult{}, false
+	}
+	key := spec.Key()
+	w := c.pick(key, "")
+	if w == nil {
+		return server.StoredResult{}, false
+	}
+
+	c.mu.Lock()
+	c.stats.PeerFetches++
+	c.mu.Unlock()
+
+	resp, err := c.peers.Get(w.addr + "/v1/results/" + key)
+	if err != nil {
+		c.notePeerError(w, err)
+		return server.StoredResult{}, false
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxCellResponseBytes))
+	if err != nil {
+		c.notePeerError(w, err)
+		return server.StoredResult{}, false
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return server.StoredResult{}, false // clean miss: the owner has not computed it yet
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.notePeerError(w, fmt.Errorf("status %s: %s", resp.Status, firstLine(b)))
+		return server.StoredResult{}, false
+	}
+	var rr server.RunResponse
+	if err := json.Unmarshal(b, &rr); err != nil {
+		c.notePeerError(w, fmt.Errorf("decoding response: %v", err))
+		return server.StoredResult{}, false
+	}
+	row, err := rowFromResponse(spec, key, rr)
+	if err != nil {
+		c.notePeerError(w, err)
+		return server.StoredResult{}, false
+	}
+
+	c.mu.Lock()
+	c.stats.PeerHits++
+	c.mu.Unlock()
+	return server.StoredResult{Spec: spec, Row: row}, true
+}
+
+// notePeerError records a failed peer fetch. Peer failures never count
+// toward eviction: the fetch runs on a much tighter timeout than a health
+// probe, so a merely busy owner would look dead. The health loop owns
+// liveness; the peer tier just steps aside.
+func (c *Coordinator) notePeerError(w *worker, err error) {
+	c.mu.Lock()
+	c.stats.PeerErrors++
+	c.mu.Unlock()
+	fmt.Fprintf(c.cfg.Log, "cluster: peer fetch from %s failed: %v\n", w.addr, err)
+}

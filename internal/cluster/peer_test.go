@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"selcache/internal/server"
+)
+
+// peerConfig is fastConfig with the peer tier enabled on a tight bound.
+func peerConfig() Config {
+	cfg := fastConfig()
+	cfg.PeerTimeout = 500 * time.Millisecond
+	return cfg
+}
+
+const runSwim = `{"workload":"swim"}`
+
+// TestPeerFetchServesCachedResult: a result already sitting in the ring
+// owner's cache is served through the peer tier — no execution anywhere —
+// and the bytes match a single-node server exactly.
+func TestPeerFetchServesCachedResult(t *testing.T) {
+	ref := newTestNode(t, "", nil, nil)
+	_, refBody := postJSON(t, ref.ts.URL+"/v1/run", runSwim)
+
+	co := newCoordNode(t, peerConfig())
+	co.srv.SetPeerFetch(co.coord.FetchCached)
+	w := newTestNode(t, "worker", nil, nil)
+	mustJoin(t, co.ts.URL, w.ts.URL)
+
+	// Warm the worker's cache directly, as if an earlier forwarded sweep
+	// had landed the cell there.
+	postJSON(t, w.ts.URL+"/v1/run", runSwim)
+	if n := w.runs.Load(); n != 1 {
+		t.Fatalf("warming ran %d cells, want 1", n)
+	}
+
+	resp, body := postJSON(t, co.ts.URL+"/v1/run", runSwim)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if tier := resp.Header.Get("X-Selcache-Tier"); tier != server.TierPeer {
+		t.Fatalf("tier %q, want %q", tier, server.TierPeer)
+	}
+	if !bytes.Equal(body, refBody) {
+		t.Fatalf("peer-served response differs from single-node:\n%s\nvs\n%s", body, refBody)
+	}
+	if n := w.runs.Load(); n != 1 {
+		t.Fatalf("peer fetch triggered execution (worker ran %d)", n)
+	}
+	if n := co.runs.Load(); n != 0 {
+		t.Fatalf("peer fetch ran %d cells on the coordinator", n)
+	}
+	st := co.coord.Status().Stats
+	if st.PeerFetches != 1 || st.PeerHits != 1 || st.PeerErrors != 0 {
+		t.Fatalf("peer stats = %+v, want one clean hit", st)
+	}
+	if st.RemoteCells != 0 {
+		t.Fatalf("peer hit still forwarded a cell (remote_cells=%d)", st.RemoteCells)
+	}
+}
+
+// TestPeerFetchMissFallsThrough: a cold owner answers 404 — a clean miss,
+// not an error — and the cell proceeds to remote execution as before.
+func TestPeerFetchMissFallsThrough(t *testing.T) {
+	co := newCoordNode(t, peerConfig())
+	co.srv.SetPeerFetch(co.coord.FetchCached)
+	w := newTestNode(t, "worker", nil, nil)
+	mustJoin(t, co.ts.URL, w.ts.URL)
+
+	resp, body := postJSON(t, co.ts.URL+"/v1/run", runSwim)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if tier := resp.Header.Get("X-Selcache-Tier"); tier != server.TierRemote {
+		t.Fatalf("tier %q, want %q", tier, server.TierRemote)
+	}
+	st := co.coord.Status().Stats
+	if st.PeerFetches != 1 || st.PeerHits != 0 || st.PeerErrors != 0 {
+		t.Fatalf("peer stats = %+v, want one fetch, no hit, no error (404 is a miss)", st)
+	}
+	if n := w.runs.Load(); n != 1 {
+		t.Fatalf("worker ran %d cells, want 1", n)
+	}
+}
+
+// TestPeerFetchOwnerDown: the ring owner is unreachable — the peer fetch
+// fails fast, remote execution fails too, and the cell falls back to the
+// coordinator's local engine. Service degrades, requests do not fail.
+func TestPeerFetchOwnerDown(t *testing.T) {
+	cfg := peerConfig()
+	// Freeze membership: the dead worker must still own its shard when the
+	// request arrives, or the ring would be empty and the peer tier would
+	// be skipped instead of exercised.
+	cfg.HealthInterval = time.Hour
+	cfg.AttemptTimeout = time.Second
+	co := newCoordNode(t, cfg)
+	co.srv.SetPeerFetch(co.coord.FetchCached)
+
+	w := newTestNode(t, "worker", nil, nil)
+	mustJoin(t, co.ts.URL, w.ts.URL)
+	w.ts.Close()
+
+	resp, body := postJSON(t, co.ts.URL+"/v1/run", runSwim)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if tier := resp.Header.Get("X-Selcache-Tier"); tier != server.TierComputed {
+		t.Fatalf("tier %q, want local fallback (%q)", tier, server.TierComputed)
+	}
+	if n := co.runs.Load(); n != 1 {
+		t.Fatalf("coordinator ran %d cells, want 1 (local fallback)", n)
+	}
+	st := co.coord.Status().Stats
+	if st.PeerFetches != 1 || st.PeerErrors != 1 || st.PeerHits != 0 {
+		t.Fatalf("peer stats = %+v, want one failed fetch", st)
+	}
+	if st.LocalFallbacks != 1 {
+		t.Fatalf("local_fallbacks = %d, want 1", st.LocalFallbacks)
+	}
+}
+
+// TestPeerFetchSlowOwner: an owner that dawdles past PeerTimeout on the
+// results endpoint costs one bounded timeout, then the request proceeds
+// through remote execution (which has its own hedging) — a slow peer
+// cannot stall the hierarchy.
+func TestPeerFetchSlowOwner(t *testing.T) {
+	ref := newTestNode(t, "", nil, nil)
+	_, refBody := postJSON(t, ref.ts.URL+"/v1/run", runSwim)
+
+	cfg := peerConfig()
+	cfg.PeerTimeout = 100 * time.Millisecond
+	co := newCoordNode(t, cfg)
+	co.srv.SetPeerFetch(co.coord.FetchCached)
+
+	// The worker answers /v1/results only after 5x the peer timeout;
+	// every other endpoint (health, forwarded runs) is prompt.
+	w := newTestNode(t, "worker", nil, nil)
+	slow := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/results/") {
+			time.Sleep(500 * time.Millisecond)
+		}
+		w.srv.Handler().ServeHTTP(rw, r)
+	}))
+	t.Cleanup(slow.Close)
+	mustJoin(t, co.ts.URL, slow.URL)
+
+	// Warm the owner's cache so only the slowness, not a miss, is tested.
+	postJSON(t, slow.URL+"/v1/run", runSwim)
+
+	start := time.Now()
+	resp, body := postJSON(t, co.ts.URL+"/v1/run", runSwim)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if tier := resp.Header.Get("X-Selcache-Tier"); tier != server.TierRemote {
+		t.Fatalf("tier %q, want fall-through to %q", tier, server.TierRemote)
+	}
+	if !bytes.Equal(body, refBody) {
+		t.Fatal("slow-peer fall-through response not byte-identical to single-node")
+	}
+	// The request paid one bounded peer timeout, not the owner's full delay.
+	if elapsed > 450*time.Millisecond {
+		t.Fatalf("request took %v; the peer timeout did not bound the slow owner", elapsed)
+	}
+	st := co.coord.Status().Stats
+	if st.PeerFetches != 1 || st.PeerErrors != 1 {
+		t.Fatalf("peer stats = %+v, want one timed-out fetch", st)
+	}
+}
+
+// TestRemoteExecutionRoutesSyntheticCells: "family#seed" cells shard and
+// forward exactly like named benchmarks. Response validation used to look
+// the workload up with ByName, which does not know synthetic names, so
+// every synthetic cell's remote answer was discarded as invalid and the
+// cell silently re-ran locally — no error, wrong tier, doubled work.
+func TestRemoteExecutionRoutesSyntheticCells(t *testing.T) {
+	co := newCoordNode(t, peerConfig())
+	co.srv.SetPeerFetch(co.coord.FetchCached)
+	w := newTestNode(t, "worker", nil, nil)
+	mustJoin(t, co.ts.URL, w.ts.URL)
+
+	resp, body := postJSON(t, co.ts.URL+"/v1/run", `{"workload":"shallow/affine/small/unit#3"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if tier := resp.Header.Get("X-Selcache-Tier"); tier != server.TierRemote {
+		t.Fatalf("tier %q, want %q", tier, server.TierRemote)
+	}
+	if n := co.runs.Load(); n != 0 {
+		t.Fatalf("synthetic cell ran %d times on the coordinator, want 0", n)
+	}
+	if n := w.runs.Load(); n != 1 {
+		t.Fatalf("worker ran %d cells, want 1", n)
+	}
+	st := co.coord.Status().Stats
+	if st.LocalFallbacks != 0 || st.RemoteErrors != 0 {
+		t.Fatalf("stats = %+v, want a clean remote execution", st)
+	}
+
+	// And once cached on the worker, the same cell comes back through the
+	// peer tier on a cache-cold coordinator.
+	co2 := newCoordNode(t, peerConfig())
+	co2.srv.SetPeerFetch(co2.coord.FetchCached)
+	mustJoin(t, co2.ts.URL, w.ts.URL)
+	resp2, body2 := postJSON(t, co2.ts.URL+"/v1/run", `{"workload":"shallow/affine/small/unit#3"}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if tier := resp2.Header.Get("X-Selcache-Tier"); tier != server.TierPeer {
+		t.Fatalf("tier %q, want %q", tier, server.TierPeer)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("peer-served synthetic cell differs from remote-executed bytes")
+	}
+}
+
+// TestPeerTierDisabled: a negative PeerTimeout turns the tier off — no
+// fetches are attempted even when FetchCached is wired in.
+func TestPeerTierDisabled(t *testing.T) {
+	cfg := fastConfig()
+	cfg.PeerTimeout = -1
+	co := newCoordNode(t, cfg)
+	co.srv.SetPeerFetch(co.coord.FetchCached)
+	w := newTestNode(t, "worker", nil, nil)
+	mustJoin(t, co.ts.URL, w.ts.URL)
+	postJSON(t, w.ts.URL+"/v1/run", runSwim)
+
+	resp, _ := postJSON(t, co.ts.URL+"/v1/run", runSwim)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if st := co.coord.Status().Stats; st.PeerFetches != 0 {
+		t.Fatalf("disabled peer tier attempted %d fetches", st.PeerFetches)
+	}
+}

@@ -44,6 +44,15 @@ type EstimateResponse struct {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("estimate")
+	// Estimates never queue behind simulations — a microsecond answer
+	// stuck behind multi-second runs would defeat the tier — but they are
+	// still admission-controlled: past the estimate concurrency bound the
+	// request is shed immediately with a 1s Retry-After.
+	if err := s.adm.acquireEstimate(); err != nil {
+		s.failExec(w, err)
+		return
+	}
+	defer s.adm.releaseEstimate()
 	var req EstimateRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.fail(w, http.StatusBadRequest, err)

@@ -32,6 +32,11 @@ type metrics struct {
 	window [latencyWindow]time.Duration
 	count  uint64 // total latencies ever recorded
 
+	// tiers counts served results per cache-hierarchy tier (memory,
+	// disk, peer, remote, computed). Deduplicated waiters count under
+	// their leader's tier, so the sum equals results served, not fills.
+	tiers map[string]uint64
+
 	// estVerdicts counts served estimates per verdict ("exact",
 	// "bounded", "declined"); estWindow/estCount are the estimate
 	// latency ring, kept separate from the run ring because estimates
@@ -46,6 +51,7 @@ func newMetrics() *metrics {
 	return &metrics{
 		start:       time.Now(),
 		requests:    make(map[string]uint64),
+		tiers:       make(map[string]uint64),
 		estVerdicts: make(map[string]uint64),
 	}
 }
@@ -55,6 +61,43 @@ func (m *metrics) request(endpoint string) {
 	m.mu.Lock()
 	m.requests[endpoint]++
 	m.mu.Unlock()
+}
+
+// tierServed counts one result served from the named hierarchy tier.
+func (m *metrics) tierServed(tier string) {
+	m.mu.Lock()
+	m.tiers[tier]++
+	m.mu.Unlock()
+}
+
+// snapshotTiers copies the per-tier counters.
+func (m *metrics) snapshotTiers() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.tiers))
+	for k, v := range m.tiers {
+		out[k] = v
+	}
+	return out
+}
+
+// typicalRun estimates how long one simulation takes right now — the
+// median of the recent-latency window — for sizing Retry-After hints.
+// Zero until the first run completes.
+func (m *metrics) typicalRun() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.count
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n == 0 {
+		return 0
+	}
+	lat := make([]time.Duration, n)
+	copy(lat, m.window[:n])
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)/2]
 }
 
 func (m *metrics) runStarted() {

@@ -10,19 +10,39 @@ import (
 	"sync"
 )
 
+// Result tiers, as reported by X-Selcache-Tier and the /metrics tier
+// counters. The lookup order is the cache hierarchy: memory, then disk,
+// then a peer's cache, then remote execution, then a local simulation.
+const (
+	TierMemory   = "memory"
+	TierDisk     = "disk"
+	TierPeer     = "peer"
+	TierRemote   = "remote"
+	TierComputed = "computed"
+)
+
 // ResultCacheStats snapshots the result cache counters for /metrics.
 type ResultCacheStats struct {
 	// Hits counts lookups served from memory or disk; Misses those that
-	// had to execute a simulation.
+	// had to leave the local cache (peer fetch, remote execution, or a
+	// local simulation).
 	Hits, Misses uint64
+	// MemoryHits counts hits served from the in-memory LRU; DiskLoads
+	// counts hits served by reading a persisted result back from
+	// -cachedir. Hits = MemoryHits + DiskLoads.
+	MemoryHits uint64
 	// Entries is the current in-memory entry count, Evictions the
 	// lifetime number of LRU evictions (evicted entries remain readable
 	// from disk when persistence is on).
 	Entries, Evictions uint64
-	// DiskLoads counts hits served by reading a persisted result back
-	// from -cachedir; DiskErrors counts failed reads or writes of valid
-	// work (a corrupt file is treated as a miss).
+	// DiskLoads counts hits served from -cachedir; DiskErrors counts
+	// failed reads or writes of valid work (a corrupt file is treated as
+	// a miss and quarantined so it is counted once, not per lookup).
 	DiskLoads, DiskErrors uint64
+	// Quarantined counts corrupt or wrong-hash persisted files renamed
+	// to <key>.corrupt; TmpSwept counts orphaned <key>.tmp* files from a
+	// crashed persist removed when the cache opened.
+	Quarantined, TmpSwept uint64
 }
 
 // resultCache is the content-addressed result store: an in-memory LRU of
@@ -49,17 +69,46 @@ type lruEntry struct {
 
 // newResultCache returns a cache holding at most capacity entries in
 // memory (minimum 1). dir, when non-empty, enables <key>.json
-// persistence; the directory is created on first write.
+// persistence; the directory is created on first write. Opening a
+// persistent cache sweeps away orphaned <key>.tmp* files left behind by
+// a process that died between CreateTemp and the atomic rename.
 func newResultCache(capacity int, dir string) *resultCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &resultCache{
+	c := &resultCache{
 		dir:   dir,
 		cap:   capacity,
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
 	}
+	if dir != "" {
+		c.stats.TmpSwept = sweepOrphans(dir)
+	}
+	return c
+}
+
+// sweepOrphans removes temp files a crashed persist left behind. Only
+// names produced by persist's CreateTemp pattern (<64-hex-key>.tmp<rand>)
+// are touched, so a cache directory shared with anything else loses
+// nothing it owns.
+func sweepOrphans(dir string) uint64 {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		return 0
+	}
+	var swept uint64
+	for _, m := range matches {
+		base := filepath.Base(m)
+		i := strings.Index(base, ".tmp")
+		if i < 0 || !validKey(base[:i]) {
+			continue
+		}
+		if os.Remove(m) == nil {
+			swept++
+		}
+	}
+	return swept
 }
 
 // keyPattern guards the disk path: keys are 64 hex characters, so a
@@ -82,15 +131,18 @@ func (c *resultCache) path(key string) string {
 }
 
 // get returns the stored result for key, consulting memory first and the
-// persistence directory second. A disk hit is promoted into memory.
-func (c *resultCache) get(key string) (StoredResult, bool) {
+// persistence directory second. A disk hit is promoted into memory. The
+// tier return names which tier answered (TierMemory or TierDisk) and is
+// empty on a miss.
+func (c *resultCache) get(key string) (StoredResult, string, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
+		c.stats.MemoryHits++
 		sr := el.Value.(*lruEntry).val
 		c.mu.Unlock()
-		return sr, true
+		return sr, TierMemory, true
 	}
 	c.mu.Unlock()
 
@@ -101,8 +153,13 @@ func (c *resultCache) get(key string) (StoredResult, bool) {
 			c.stats.DiskLoads++
 			c.insertLocked(key, sr)
 			c.mu.Unlock()
-			return sr, true
+			return sr, TierDisk, true
 		} else if !os.IsNotExist(err) {
+			// A corrupt or wrong-hash file would otherwise be re-read and
+			// re-fail on every lookup of this key; quarantine it so the
+			// error is counted once and the key can be recomputed and
+			// re-persisted cleanly.
+			c.quarantine(key)
 			c.mu.Lock()
 			c.stats.DiskErrors++
 			c.mu.Unlock()
@@ -112,7 +169,19 @@ func (c *resultCache) get(key string) (StoredResult, bool) {
 	c.mu.Lock()
 	c.stats.Misses++
 	c.mu.Unlock()
-	return StoredResult{}, false
+	return StoredResult{}, "", false
+}
+
+// quarantine moves a corrupt persisted result aside as <key>.corrupt,
+// preserving the bytes for a postmortem while getting them out of the
+// lookup path. Best-effort: if the rename fails the file stays, and the
+// next lookup will pay the read again.
+func (c *resultCache) quarantine(key string) {
+	if err := os.Rename(c.path(key), filepath.Join(c.dir, key+".corrupt")); err == nil {
+		c.mu.Lock()
+		c.stats.Quarantined++
+		c.mu.Unlock()
+	}
 }
 
 // load reads and validates one persisted result. The stored spec must

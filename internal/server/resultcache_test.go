@@ -26,11 +26,11 @@ func TestResultCacheLRUEviction(t *testing.T) {
 		c.put(specN(n).Key(), storedN(n))
 	}
 	// "a" is the LRU victim.
-	if _, ok := c.get(specN("a").Key()); ok {
+	if _, _, ok := c.get(specN("a").Key()); ok {
 		t.Fatal("evicted entry still present")
 	}
 	for _, n := range []string{"b", "c"} {
-		if _, ok := c.get(specN(n).Key()); !ok {
+		if _, _, ok := c.get(specN(n).Key()); !ok {
 			t.Fatalf("entry %q missing", n)
 		}
 	}
@@ -45,10 +45,10 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	// Touching "b" then inserting "d" must evict "c", not "b".
 	c.get(specN("b").Key())
 	c.put(specN("d").Key(), storedN("d"))
-	if _, ok := c.get(specN("b").Key()); !ok {
+	if _, _, ok := c.get(specN("b").Key()); !ok {
 		t.Fatal("recently-used entry evicted")
 	}
-	if _, ok := c.get(specN("c").Key()); ok {
+	if _, _, ok := c.get(specN("c").Key()); ok {
 		t.Fatal("LRU entry survived")
 	}
 }
@@ -63,7 +63,7 @@ func TestResultCacheDiskRoundTrip(t *testing.T) {
 	// A fresh cache over the same directory serves the persisted result
 	// and promotes it into memory.
 	c2 := newResultCache(4, dir)
-	sr, ok := c2.get(key)
+	sr, _, ok := c2.get(key)
 	if !ok {
 		t.Fatal("persisted result not found")
 	}
@@ -75,7 +75,7 @@ func TestResultCacheDiskRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot = %+v, want 1 disk load counted as a hit", st)
 	}
 	// Second get comes from memory.
-	if _, ok := c2.get(key); !ok {
+	if _, _, ok := c2.get(key); !ok {
 		t.Fatal("promoted result missing")
 	}
 	if st := c2.snapshot(); st.DiskLoads != 1 {
@@ -90,7 +90,7 @@ func TestResultCacheCorruptDiskFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := newResultCache(4, dir)
-	if _, ok := c.get(key); ok {
+	if _, _, ok := c.get(key); ok {
 		t.Fatal("corrupt file served as a result")
 	}
 	st := c.snapshot()
@@ -110,7 +110,7 @@ func TestResultCacheRejectsMismatchedStoredSpec(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, key+".json"), src, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.get(key); ok {
+	if _, _, ok := c.get(key); ok {
 		t.Fatal("mismatched stored spec served as a result")
 	}
 	if st := c.snapshot(); st.DiskErrors != 1 {
@@ -145,7 +145,7 @@ func TestResultCacheConcurrentFills(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				n := fmt.Sprintf("wl-%d", (g*31+i)%10)
 				key := specN(n).Key()
-				if sr, ok := c.get(key); ok {
+				if sr, _, ok := c.get(key); ok {
 					if sr.Row.Benchmark != n {
 						panic(fmt.Sprintf("key %s returned row for %s", n, sr.Row.Benchmark))
 					}
@@ -177,5 +177,143 @@ func TestResultCacheConcurrentFills(t *testing.T) {
 		if specN(e.val.Row.Benchmark).Key() != e.key {
 			t.Fatalf("entry %s holds the value for %s", e.key, e.val.Row.Benchmark)
 		}
+	}
+}
+
+// TestCorruptFileQuarantinedOnce is the regression for the unbounded
+// DiskErrors bug: before quarantining, a corrupt persisted file was
+// re-read and re-failed on every get of its key. Now the first failure
+// renames it to <key>.corrupt and later gets are plain misses.
+func TestCorruptFileQuarantinedOnce(t *testing.T) {
+	dir := t.TempDir()
+	key := specN("swim").Key()
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := newResultCache(4, dir)
+	for i := 0; i < 5; i++ {
+		if _, _, ok := c.get(key); ok {
+			t.Fatalf("get %d served a corrupt file", i)
+		}
+	}
+	st := c.snapshot()
+	if st.DiskErrors != 1 {
+		t.Fatalf("DiskErrors = %d after 5 gets, want exactly 1", st.DiskErrors)
+	}
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".corrupt")); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt original still present (err=%v)", err)
+	}
+
+	// The key is recomputable: a fresh put persists cleanly and the next
+	// get is a disk/memory hit again.
+	c.put(key, storedN("swim"))
+	if _, tier, ok := c.get(key); !ok || tier != TierMemory {
+		t.Fatalf("re-put entry: ok=%v tier=%q", ok, tier)
+	}
+	c2 := newResultCache(4, dir)
+	if _, tier, ok := c2.get(key); !ok || tier != TierDisk {
+		t.Fatalf("re-persisted entry: ok=%v tier=%q", ok, tier)
+	}
+}
+
+// TestWrongHashFileQuarantined: a syntactically valid file whose stored
+// spec hashes elsewhere (hand-copied between directories) is quarantined
+// just like a torn write.
+func TestWrongHashFileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := specN("swim").Key()
+	c := newResultCache(4, dir)
+	c.put(specN("applu").Key(), storedN("applu"))
+	src, _ := os.ReadFile(filepath.Join(dir, specN("applu").Key()+".json"))
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, ok := c.get(key); ok {
+			t.Fatal("mismatched stored spec served as a result")
+		}
+	}
+	st := c.snapshot()
+	if st.DiskErrors != 1 || st.Quarantined != 1 {
+		t.Fatalf("snapshot = %+v, want 1 disk error and 1 quarantine", st)
+	}
+	// The donor entry is untouched.
+	if _, _, ok := c.get(specN("applu").Key()); !ok {
+		t.Fatal("quarantine touched the wrong key")
+	}
+}
+
+// TestSweepOrphanedTmpFiles simulates a crash between CreateTemp and the
+// atomic rename: the leaked <key>.tmp* files must be swept when the cache
+// reopens, while foreign files in a shared directory survive.
+func TestSweepOrphanedTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	key := specN("swim").Key()
+
+	// Crash simulation: run the real persist path up to the temp write,
+	// then "die" (never rename) — twice, like two crashed processes.
+	for i := 0; i < 2; i++ {
+		tmp, err := os.CreateTemp(dir, key+".tmp*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tmp.Write([]byte("{половина")); err != nil {
+			t.Fatal(err)
+		}
+		tmp.Close()
+	}
+	// Files the sweep must NOT touch: a live result, a foreign temp file,
+	// and a tmp-suffixed name whose prefix is not a result key.
+	keep := []string{key + ".json", "notes.tmp1234", "short.tmp"}
+	for _, name := range keep {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := newResultCache(4, dir)
+	st := c.snapshot()
+	if st.TmpSwept != 2 {
+		t.Fatalf("TmpSwept = %d, want 2", st.TmpSwept)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != len(keep) {
+		t.Fatalf("directory holds %d files %v, want the %d kept ones", len(left), left, len(keep))
+	}
+	for _, name := range keep {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("sweep removed %s: %v", name, err)
+		}
+	}
+}
+
+// TestPersistAfterSweepRoundTrips: sweeping at open must not break the
+// normal persist path that uses the same temp-name pattern.
+func TestPersistAfterSweepRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	key := specN("swim").Key()
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+
+	c := newResultCache(4, dir)
+	c.put(key, storedN("swim"))
+	c2 := newResultCache(4, dir)
+	if _, tier, ok := c2.get(key); !ok || tier != TierDisk {
+		t.Fatalf("round-trip after sweep: ok=%v tier=%q", ok, tier)
+	}
+	if st := c2.snapshot(); st.TmpSwept != 0 {
+		t.Fatalf("second open swept %d files, want 0", st.TmpSwept)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -53,6 +54,13 @@ type Config struct {
 	// DefaultTimeout bounds requests that do not set timeout_ms
 	// (0: no deadline).
 	DefaultTimeout time.Duration
+	// MaxBacklog bounds queued simulation admissions; past it requests
+	// are shed with 429 + Retry-After (0: 16x workers, at least 256).
+	MaxBacklog int
+	// MaxBackgroundFills bounds simulations started with no live waiter
+	// — cache fills for requests that already timed out (0: the worker
+	// count; negative: no background fills).
+	MaxBackgroundFills int
 	// EstimatePlan enables the symbolic-estimator sweep planner: cells
 	// launch most-interesting-first (largest predicted cost spread across
 	// program variants) and sweeps may set estimate_top to prune the
@@ -73,8 +81,10 @@ type Server struct {
 	pool    *parallel.Pool
 	traces  *experiments.TraceCache
 	results *resultCache
-	group   flight.Group[string, StoredResult]
+	group   flight.Group[string, execOutcome]
 	metrics *metrics
+	adm     *admission
+	fills   *fillTracker
 	mux     *http.ServeMux
 	bg      sync.WaitGroup
 
@@ -83,6 +93,9 @@ type Server struct {
 	// remote, when set, is offered every cell before the local engine
 	// (the cluster scale-out hook).
 	remote RemoteFunc
+	// peer, when set, is asked for an already-cached result before any
+	// execution — the peer-fetch tier of the cache hierarchy.
+	peer PeerFetchFunc
 }
 
 // New returns a ready-to-serve Server.
@@ -101,6 +114,12 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		runRow:  experiments.RunRow,
 	}
+	s.adm = newAdmission(s.pool.Size(), cfg.MaxBacklog, 0, s.metrics.typicalRun)
+	bgCap := cfg.MaxBackgroundFills
+	if bgCap == 0 {
+		bgCap = s.pool.Size()
+	}
+	s.fills = newFillTracker(bgCap)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -136,6 +155,17 @@ var ErrNotRouted = errors.New("cell not routed remotely")
 // synchronized against in-flight cells.
 func (s *Server) SetRemote(fn RemoteFunc) { s.remote = fn }
 
+// PeerFetchFunc asks a peer node's cache for an already-cached result —
+// it must never trigger execution anywhere. ok reports a validated hit;
+// anything else (miss, timeout, no peers) is false and the lookup falls
+// through to the next tier.
+type PeerFetchFunc func(spec Spec) (StoredResult, bool)
+
+// SetPeerFetch installs the peer-cache tier consulted after a local miss
+// and before any execution. Call it before the server starts handling
+// requests; it is not synchronized against in-flight cells.
+func (s *Server) SetPeerFetch(fn PeerFetchFunc) { s.peer = fn }
+
 // SetRunRow replaces the local cell executor. Tests and fault-injection
 // harnesses substitute counting, slow, or fabricated stand-ins; call it
 // before the server starts handling requests.
@@ -161,69 +191,129 @@ func (s *Server) Describe() string {
 // errDeadline marks a request that expired before its result was ready.
 var errDeadline = errors.New("deadline exceeded waiting for simulation")
 
-// execute returns the stored result for spec, through the reuse tiers:
-// result cache, in-flight dedup, then the remote hook (when installed and
-// not suppressed) or a fresh run on the local pool. noRemote pins the
-// cell to the local engine — set for requests a coordinator already
-// forwarded here, so two misconfigured nodes pointed at each other
-// cannot bounce a cell forever. The cacheHit return distinguishes tier
-// one (served without simulating or waiting on a simulation) for the
-// X-Selcache header.
-func (s *Server) execute(ctx context.Context, spec Spec, o core.Options, noRemote bool) (StoredResult, bool, error) {
+// errAbandoned marks a fill dropped before execution: every requester had
+// timed out and the background-fill bound left no credit to run it anyway.
+var errAbandoned = errors.New("fill abandoned: no live waiter and background-fill bound reached")
+
+// execOutcome is the flight-shared value of one fill: the result, the
+// tier that produced it, or the reason it was not produced. Carrying the
+// error through the flight group means a shed or abandoned leader answers
+// every deduplicated waiter too.
+type execOutcome struct {
+	sr   StoredResult
+	tier string
+	err  error
+}
+
+// execute returns the stored result for spec, through the cache
+// hierarchy: in-memory LRU, -cachedir disk, in-flight dedup, the peer
+// tier (another node's cache), the remote hook (cluster execution), and
+// finally a fresh run on the local pool behind admission control.
+// noRemote pins the cell to the local node — set for requests a
+// coordinator already forwarded here, so two misconfigured nodes pointed
+// at each other cannot bounce a cell forever (it also disables the peer
+// tier: a forwarded cell's receiver IS the ring owner). The tier return
+// names which tier served the request for the X-Selcache headers and
+// /metrics counters.
+func (s *Server) execute(ctx context.Context, spec Spec, o core.Options, class Class, noRemote bool) (StoredResult, string, error) {
 	key := spec.Key()
-	if sr, ok := s.results.get(key); ok {
-		return sr, true, nil
+	if sr, tier, ok := s.results.get(key); ok {
+		s.metrics.tierServed(tier)
+		return sr, tier, nil
 	}
 
+	s.fills.addWaiter(key)
+	defer s.fills.dropWaiter(key)
+
 	type outcome struct {
-		sr     StoredResult
+		out    execOutcome
 		shared flight.Outcome
 	}
 	ch := make(chan outcome, 1)
 	s.bg.Add(1)
 	go func() {
 		defer s.bg.Done()
-		sr, how := s.group.Do(key, func() StoredResult {
-			if s.remote != nil && !noRemote {
-				if sr, err := s.remote(spec); err == nil {
-					s.results.put(key, sr)
-					return sr
-				} else if !errors.Is(err, ErrNotRouted) {
-					fmt.Fprintf(s.cfg.Log, "selcached: cell %s: remote execution failed, running locally: %v\n", key[:12], err)
-				}
-			}
-			w, _ := workloads.Resolve(spec.Workload)
-			s.metrics.runStarted()
-			var row experiments.Row
-			start := time.Now()
-			s.pool.Do(nil, func() {
-				row = s.runRow(w, o, s.traces)
-			})
-			elapsed := time.Since(start)
-			var events uint64
-			for v := range row.Stats {
-				// Zero the one nondeterministic field so identical
-				// requests yield byte-identical cached results.
-				row.Stats[v].WallNanos = 0
-				events += row.Stats[v].Instructions
-			}
-			s.metrics.runCompleted(elapsed, events)
-			sr := StoredResult{Spec: spec, Row: row}
-			s.results.put(key, sr)
-			return sr
+		out, how := s.group.Do(key, func() execOutcome {
+			return s.fill(key, spec, o, class, noRemote)
 		})
-		ch <- outcome{sr: sr, shared: how}
+		ch <- outcome{out: out, shared: how}
 	}()
 
 	select {
 	case out := <-ch:
+		if out.out.err != nil {
+			return StoredResult{}, "", out.out.err
+		}
 		if out.shared == flight.Waited {
 			s.metrics.runDeduped()
 		}
-		return out.sr, false, nil
+		s.metrics.tierServed(out.out.tier)
+		return out.out.sr, out.out.tier, nil
 	case <-ctx.Done():
-		return StoredResult{}, false, errDeadline
+		return StoredResult{}, "", errDeadline
 	}
+}
+
+// fill is the flight leader's path for one missing key: peer fetch, then
+// remote execution, then an admitted local run.
+func (s *Server) fill(key string, spec Spec, o core.Options, class Class, noRemote bool) execOutcome {
+	if s.peer != nil && !noRemote {
+		if sr, ok := s.peer(spec); ok {
+			s.results.put(key, sr)
+			return execOutcome{sr: sr, tier: TierPeer}
+		}
+	}
+	if s.remote != nil && !noRemote {
+		if sr, err := s.remote(spec); err == nil {
+			s.results.put(key, sr)
+			return execOutcome{sr: sr, tier: TierRemote}
+		} else if !errors.Is(err, ErrNotRouted) {
+			fmt.Fprintf(s.cfg.Log, "selcached: cell %s: remote execution failed, running locally: %v\n", key[:12], err)
+		}
+	}
+
+	// Local execution needs admission. The queue wait is not bounded by
+	// any single request's deadline — other waiters may arrive while we
+	// queue — but the fill tracker cancels it once every waiter is gone
+	// and no background credit remains, so abandoned fills stop occupying
+	// backlog the moment they stop being worth anything.
+	qctx, qcancel := context.WithCancel(context.Background())
+	defer qcancel()
+	s.fills.registerLeader(key, qcancel)
+	err := s.adm.acquire(qctx, class)
+	s.fills.unregisterLeader(key)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.fills.abortQueued()
+			return execOutcome{err: errAbandoned}
+		}
+		return execOutcome{err: err}
+	}
+	defer s.adm.release()
+	if !s.fills.beginRun(key) {
+		return execOutcome{err: errAbandoned}
+	}
+	defer s.fills.endRun(key)
+
+	w, _ := workloads.Resolve(spec.Workload)
+	s.metrics.runStarted()
+	var row experiments.Row
+	start := time.Now()
+	s.pool.Do(nil, func() {
+		row = s.runRow(w, o, s.traces)
+	})
+	elapsed := time.Since(start)
+	var events uint64
+	for v := range row.Stats {
+		// Zero the one nondeterministic field so identical
+		// requests yield byte-identical cached results.
+		row.Stats[v].WallNanos = 0
+		events += row.Stats[v].Instructions
+	}
+	s.metrics.runCompleted(elapsed, events)
+	sr := StoredResult{Spec: spec, Row: row}
+	s.results.put(key, sr)
+	return execOutcome{sr: sr, tier: TierComputed}
 }
 
 // requestContext derives the deadline context for a request: timeout_ms
@@ -293,22 +383,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // MetricsSnapshot is the body of GET /metrics: expvar-style counters for
 // every reuse tier plus run latency quantiles.
 type MetricsSnapshot struct {
-	UptimeSec   float64                     `json:"uptime_sec"`
-	Workers     int                         `json:"workers"`
-	Requests    map[string]uint64           `json:"requests"`
-	ResultCache ResultCacheStats            `json:"result_cache"`
-	TraceCache  experiments.TraceCacheStats `json:"trace_cache"`
-	Runs        RunMetrics                  `json:"runs"`
-	Estimates   EstimateMetrics             `json:"estimates"`
+	UptimeSec   float64           `json:"uptime_sec"`
+	Workers     int               `json:"workers"`
+	Requests    map[string]uint64 `json:"requests"`
+	ResultCache ResultCacheStats  `json:"result_cache"`
+	// Tiers counts served results per hierarchy tier (memory, disk,
+	// peer, remote, computed); deduplicated waiters count under their
+	// leader's tier.
+	Tiers      map[string]uint64           `json:"tiers"`
+	Admission  AdmissionMetrics            `json:"admission"`
+	TraceCache experiments.TraceCacheStats `json:"trace_cache"`
+	Runs       RunMetrics                  `json:"runs"`
+	Estimates  EstimateMetrics             `json:"estimates"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request("metrics")
+	adm := s.adm.snapshot()
+	s.fills.fill(&adm)
 	snap := MetricsSnapshot{
 		UptimeSec:   time.Since(s.metrics.start).Seconds(),
 		Workers:     s.pool.Size(),
 		Requests:    s.metrics.snapshotRequests(),
 		ResultCache: s.results.snapshot(),
+		Tiers:       s.metrics.snapshotTiers(),
+		Admission:   adm,
 		TraceCache:  s.traces.Stats(),
 		Runs:        s.metrics.snapshotRuns(s.pool.InFlight()),
 		Estimates:   s.metrics.snapshotEstimates(),
@@ -344,12 +443,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
 	defer cancel()
-	sr, hit, err := s.execute(ctx, spec, o, r.Header.Get(ForwardedHeader) != "")
+	sr, tier, err := s.execute(ctx, spec, o, ClassRun, r.Header.Get(ForwardedHeader) != "")
 	if err != nil {
-		s.fail(w, http.StatusGatewayTimeout, err)
+		s.failExec(w, err)
 		return
 	}
-	setCacheHeader(w, hit)
+	setCacheHeader(w, tier)
 	writeJSON(w, http.StatusOK, sr.Response(req.Version))
 }
 
@@ -488,7 +587,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 		done[id.pi].Add(1)
 		go func(pi, ci int) {
 			defer done[pi].Done()
-			sr, _, err := s.execute(ctx, plans[pi].specs[ci], plans[pi].opts, noRemote)
+			sr, _, err := s.execute(ctx, plans[pi].specs[ci], plans[pi].opts, ClassSweep, noRemote)
 			results[pi][ci] = cellOut{sr: sr, err: err}
 		}(id.pi, id.ci)
 	}
@@ -501,7 +600,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 			done[pi].Wait()
 			sres, err := assembleSweep(plans[pi], results[pi])
 			if err != nil {
-				s.fail(w, http.StatusGatewayTimeout, err)
+				s.failExec(w, err)
 				return
 			}
 			resp.Sweeps = append(resp.Sweeps, sres)
@@ -520,7 +619,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 		}
 		if err != nil {
 			if !wrote {
-				s.fail(w, http.StatusGatewayTimeout, err)
+				s.failExec(w, err)
 				return
 			}
 			// The status line and earlier sweeps are already on the wire;
@@ -612,12 +711,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("malformed result key %q (want 64 hex characters)", key))
 		return
 	}
-	sr, ok := s.results.get(key)
+	sr, tier, ok := s.results.get(key)
 	if !ok {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("no result for key %s", key))
 		return
 	}
-	setCacheHeader(w, true)
+	s.metrics.tierServed(tier)
+	setCacheHeader(w, tier)
 	writeJSON(w, http.StatusOK, sr.Response(""))
 }
 
@@ -637,6 +737,23 @@ func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// failExec maps an execution error to its HTTP shape: a shed request is
+// 429 with Retry-After, an abandoned fill 503 (gone by the time a slot
+// freed — retry immediately re-enqueues), a deadline 504.
+func (s *Server) failExec(w http.ResponseWriter, err error) {
+	var oe *overloadError
+	switch {
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", strconv.Itoa(oe.retryAfter))
+		s.fail(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, errAbandoned):
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, err)
+	default:
+		s.fail(w, http.StatusGatewayTimeout, err)
+	}
+}
+
 // decodeBody strictly decodes a JSON request body into dst.
 func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -651,13 +768,17 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-// setCacheHeader reports which reuse tier served the response.
-func setCacheHeader(w http.ResponseWriter, hit bool) {
-	if hit {
+// setCacheHeader reports which tier of the cache hierarchy served the
+// response. X-Selcache keeps its original hit/miss meaning — "hit" is a
+// local cache answer (memory or disk), anything that left the node or
+// simulated is a "miss" — while X-Selcache-Tier carries the exact tier.
+func setCacheHeader(w http.ResponseWriter, tier string) {
+	if tier == TierMemory || tier == TierDisk {
 		w.Header().Set("X-Selcache", "hit")
 	} else {
 		w.Header().Set("X-Selcache", "miss")
 	}
+	w.Header().Set("X-Selcache-Tier", tier)
 }
 
 // writeJSON marshals v once and writes it with a trailing newline; the

@@ -2,16 +2,19 @@
 # cluster-smoke boots a coordinator and two workers on random ports, runs
 # the paper's full 13-workload base/bypass sweep through the cluster while
 # SIGKILLing one worker mid-run, and asserts the merged output is
-# byte-identical to the same sweep on a plain single-node daemon. This is
-# the shell-level twin of the fault-injection tests in internal/cluster:
-# it proves the built binary's cluster lifecycle, not just the packages.
+# byte-identical to the same sweep on a plain single-node daemon. It then
+# replaces the coordinator with a cache-cold one and asserts the surviving
+# worker's cache is served through the peer tier (X-Selcache-Tier: peer),
+# byte-identical to the worker's own bytes. This is the shell-level twin
+# of the fault-injection tests in internal/cluster: it proves the built
+# binary's cluster lifecycle, not just the packages.
 set -eu
 
 BIN=${1:?usage: cluster-smoke.sh <selcached-binary>}
 DIR=$(mktemp -d)
-COORD_PID= W1_PID= W2_PID= REF_PID=
+COORD_PID= W1_PID= W2_PID= REF_PID= C2_PID=
 cleanup() {
-    for pid in $COORD_PID $W1_PID $W2_PID $REF_PID; do
+    for pid in $COORD_PID $W1_PID $W2_PID $REF_PID $C2_PID; do
         kill "$pid" 2>/dev/null || true
     done
     rm -rf "$DIR"
@@ -50,7 +53,7 @@ COORD_ADDR=$(wait_addr "$DIR/coord.log" "$COORD_PID")
 W1_PID=$!
 "$BIN" -addr 127.0.0.1:0 -workers 2 -worker -join "http://$COORD_ADDR" -health-interval 250ms 2>"$DIR/w2.log" &
 W2_PID=$!
-wait_addr "$DIR/w1.log" "$W1_PID" >/dev/null
+W1_ADDR=$(wait_addr "$DIR/w1.log" "$W1_PID")
 wait_addr "$DIR/w2.log" "$W2_PID" >/dev/null
 
 # Both workers registered and live.
@@ -82,9 +85,40 @@ cmp -s "$DIR/ref.json" "$DIR/got.json" || {
     exit 1
 }
 
+# Peer tier: a brand-new coordinator with an empty cache adopts the
+# surviving worker. Its first touch of a cell the worker already holds
+# must come back as one bounded peer fetch — no execution anywhere — with
+# bytes identical to what the worker itself serves.
+curl -s -o "$DIR/peer-ref.json" -X POST "http://$W1_ADDR/v1/run" \
+    -H 'Content-Type: application/json' -d '{"workload":"compress"}'
+"$BIN" -addr 127.0.0.1:0 -workers 2 -health-interval 250ms 2>"$DIR/c2.log" &
+C2_PID=$!
+C2_ADDR=$(wait_addr "$DIR/c2.log" "$C2_PID")
+curl -fsS -X POST "http://$C2_ADDR/v1/cluster/join" \
+    -H 'Content-Type: application/json' -d "{\"addr\":\"http://$W1_ADDR\"}" >/dev/null
+for _ in $(seq 1 50); do
+    case $(curl -fsS "http://$C2_ADDR/v1/cluster/status" 2>/dev/null || true) in
+    *'"live_workers":1'*) break ;;
+    esac
+    sleep 0.1
+done
+curl -s -D "$DIR/peer-hdr.txt" -o "$DIR/peer-got.json" -X POST "http://$C2_ADDR/v1/run" \
+    -H 'Content-Type: application/json' -d '{"workload":"compress"}'
+grep -qi '^X-Selcache-Tier: peer' "$DIR/peer-hdr.txt" || {
+    echo "cluster-smoke: cold coordinator did not serve from the peer tier" >&2
+    cat "$DIR/peer-hdr.txt" >&2
+    cat "$DIR/c2.log" >&2
+    exit 1
+}
+cmp -s "$DIR/peer-ref.json" "$DIR/peer-got.json" || {
+    echo "cluster-smoke: peer-served bytes differ from the owning worker's" >&2
+    ls -l "$DIR/peer-ref.json" "$DIR/peer-got.json" >&2
+    exit 1
+}
+
 # Graceful drain of the survivors.
-kill -TERM "$COORD_PID" "$W1_PID"
-for pid in $COORD_PID $W1_PID; do
+kill -TERM "$COORD_PID" "$W1_PID" "$C2_PID"
+for pid in $COORD_PID $W1_PID $C2_PID; do
     i=0
     while kill -0 "$pid" 2>/dev/null; do
         i=$((i + 1))
@@ -94,5 +128,5 @@ for pid in $COORD_PID $W1_PID; do
 done
 wait "$COORD_PID" 2>/dev/null || { echo "cluster-smoke: coordinator exited non-zero" >&2; cat "$DIR/coord.log" >&2; exit 1; }
 grep -q "drained, exiting" "$DIR/coord.log" || { echo "cluster-smoke: no drain marker" >&2; cat "$DIR/coord.log" >&2; exit 1; }
-COORD_PID= W1_PID=
-echo "cluster-smoke: ok (coordinator $COORD_ADDR, one worker survived a SIGKILL, output byte-identical)"
+COORD_PID= W1_PID= C2_PID=
+echo "cluster-smoke: ok (coordinator $COORD_ADDR, one worker survived a SIGKILL, output byte-identical, peer tier serves the survivor's cache)"

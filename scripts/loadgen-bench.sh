@@ -1,0 +1,96 @@
+#!/bin/sh
+# loadgen-bench regenerates the committed BENCH_loadgen.json: one
+# deterministic traffic plan measured across the four serving regimes.
+#
+#   cold      coordinator + one worker, empty caches: cells execute on the
+#             worker (remote tier) and both nodes' caches fill;
+#   warm      the same plan again: the coordinator answers from memory;
+#   peer      the coordinator is REPLACED (fresh process, cold cache) but
+#             the worker keeps its cache: first touches are served by one
+#             bounded peer fetch from the ring owner, no execution;
+#   overload  the worker is gone and the replacement coordinator is narrow
+#             (1 worker slot, 2 backlog slots): a burst of expensive
+#             never-cached cells must shed with 429 + Retry-After.
+#
+# The artifact carries per-cell response-body hashes, so byte-identity of
+# served results across all four regimes — and across the two coordinator
+# processes — is validated, not assumed. Wall times and throughput are
+# host measurements and vary run to run; the schema, tier counts, shed
+# behaviour and hashes are what CI-facing validation checks.
+set -eu
+
+SELCACHED=${1:?usage: loadgen-bench.sh <selcached-binary> <loadgen-binary> [out.json]}
+LOADGEN=${2:?usage: loadgen-bench.sh <selcached-binary> <loadgen-binary> [out.json]}
+OUT=${3:-BENCH_loadgen.json}
+DIR=$(mktemp -d)
+C1_PID= C2_PID= W_PID=
+cleanup() {
+    for pid in $C1_PID $C2_PID $W_PID; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_addr() {
+    _addr=
+    for _ in $(seq 1 50); do
+        _addr=$(sed -n 's/^selcached: listening on \([^ ]*\).*/\1/p' "$1")
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "loadgen-bench: daemon died at boot" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "loadgen-bench: daemon never bound" >&2; cat "$1" >&2; exit 1; }
+    echo "$_addr"
+}
+
+# wait_workers ADDR N -> blocks until the coordinator reports N live workers.
+wait_workers() {
+    for _ in $(seq 1 100); do
+        case $(curl -fsS "http://$1/v1/cluster/status" 2>/dev/null || true) in
+        *"\"live_workers\":$2"*) return 0 ;;
+        esac
+        sleep 0.1
+    done
+    echo "loadgen-bench: coordinator at $1 never reached live_workers=$2" >&2
+    exit 1
+}
+
+LG_ARGS="-seed 1 -requests 60 -cells 24 -rate 50 -overload-requests 40"
+
+# Phase cold + warm: coordinator C1 with one worker holding every shard.
+"$SELCACHED" -addr 127.0.0.1:0 -workers 2 -health-interval 250ms 2>"$DIR/c1.log" &
+C1_PID=$!
+C1_ADDR=$(wait_addr "$DIR/c1.log" "$C1_PID")
+"$SELCACHED" -addr 127.0.0.1:0 -workers 2 -worker -join "http://$C1_ADDR" -health-interval 250ms 2>"$DIR/w.log" &
+W_PID=$!
+W_ADDR=$(wait_addr "$DIR/w.log" "$W_PID")
+wait_workers "$C1_ADDR" 1
+
+"$LOADGEN" -addr "http://$C1_ADDR" $LG_ARGS -phases cold,warm -out "$OUT"
+
+# Phase peer: replace the coordinator. C2 boots with a cold cache and a
+# narrow pool; the worker's cache is the only copy of the results, so
+# first touches must come back through the peer tier.
+kill -TERM "$C1_PID" && wait "$C1_PID" 2>/dev/null || true
+C1_PID=
+"$SELCACHED" -addr 127.0.0.1:0 -workers 1 -max-backlog 2 -health-interval 250ms 2>"$DIR/c2.log" &
+C2_PID=$!
+C2_ADDR=$(wait_addr "$DIR/c2.log" "$C2_PID")
+curl -fsS -X POST "http://$C2_ADDR/v1/cluster/join" -d "{\"addr\":\"http://$W_ADDR\"}" >/dev/null
+wait_workers "$C2_ADDR" 1
+
+"$LOADGEN" -addr "http://$C2_ADDR" $LG_ARGS -phases peer -append -out "$OUT"
+
+# Phase overload: take the worker away and burst expensive uncached cells
+# at the narrow coordinator until it sheds.
+kill -TERM "$W_PID" && wait "$W_PID" 2>/dev/null || true
+W_PID=
+wait_workers "$C2_ADDR" 0
+
+"$LOADGEN" -addr "http://$C2_ADDR" $LG_ARGS -phases overload -append -out "$OUT"
+
+"$LOADGEN" -verify "$OUT"
+kill -TERM "$C2_PID" && wait "$C2_PID" 2>/dev/null || true
+C2_PID=
+echo "loadgen-bench: wrote $OUT"

@@ -1,0 +1,96 @@
+#!/bin/sh
+# loadgen-smoke is the CI gate for cmd/loadgen and the serving-layer
+# admission control, at shell level against the built binaries:
+#
+#   1. two -plan-only renders with the same seed are byte-identical;
+#   2. a deliberately narrow daemon (one worker slot, two backlog slots)
+#      takes cold + warm + overload traffic: the warm phase must serve
+#      from the memory tier and the overload burst must shed with 429 +
+#      Retry-After;
+#   3. a second loadgen process -appends a replay of the same plan and
+#      must observe byte-identical response bodies (the artifact carries
+#      per-cell body hashes, so the comparison crosses processes);
+#   4. the finished artifact passes selcache-loadgen/v1 validation.
+set -eu
+
+SELCACHED=${1:?usage: loadgen-smoke.sh <selcached-binary> <loadgen-binary>}
+LOADGEN=${2:?usage: loadgen-smoke.sh <selcached-binary> <loadgen-binary>}
+DIR=$(mktemp -d)
+PID=
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# Small fixed-seed plan: cheap synthetic cells for the base phases, two
+# real benchmarks (expensive enough to hold the single worker slot while
+# the rest of the burst arrives) for the overload phase.
+LG_ARGS="-seed 7 -requests 24 -cells 10 -rate 100 -overload-requests 12 -overload-named swim,compress"
+
+# 1. Plan determinism.
+"$LOADGEN" -plan-only $LG_ARGS -out "$DIR/plan1.json" >/dev/null
+"$LOADGEN" -plan-only $LG_ARGS -out "$DIR/plan2.json" >/dev/null
+cmp -s "$DIR/plan1.json" "$DIR/plan2.json" || {
+    echo "loadgen-smoke: two identical -plan-only runs rendered different plans" >&2
+    diff "$DIR/plan1.json" "$DIR/plan2.json" >&2 || true
+    exit 1
+}
+
+# 2. Narrow daemon: 1 worker slot, 2 backlog slots, disk cache on.
+"$SELCACHED" -addr 127.0.0.1:0 -workers 1 -max-backlog 2 -cachedir "$DIR/cache" 2>"$DIR/daemon.log" &
+PID=$!
+ADDR=
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^selcached: listening on \([^ ]*\).*/\1/p' "$DIR/daemon.log")
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "loadgen-smoke: daemon died at boot" >&2; cat "$DIR/daemon.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "loadgen-smoke: daemon never bound" >&2; cat "$DIR/daemon.log" >&2; exit 1; }
+
+ART="$DIR/loadgen.json"
+"$LOADGEN" -addr "http://$ADDR" $LG_ARGS -phases cold,warm,overload -out "$ART"
+
+# 3. Cross-process byte-identity: a fresh process replays the base plan
+# against the now-warm daemon and compares bodies to the recorded hashes.
+"$LOADGEN" -addr "http://$ADDR" $LG_ARGS -phases replay -append -out "$ART"
+
+# 4. Schema validation (also enforces zero body-hash mismatches and that
+# every shed response carried Retry-After).
+"$LOADGEN" -verify "$ART" >/dev/null
+
+# phase_block NAME -> that phase's JSON object (field order is fixed by
+# the struct, so the name line through the last latency line covers it).
+phase_block() {
+    sed -n "/\"name\": \"$1\"/,/latency_p99_ms/p" "$ART"
+}
+
+phase_block warm | grep -q '"memory"' || {
+    echo "loadgen-smoke: warm phase never served from the memory tier" >&2
+    phase_block warm >&2
+    exit 1
+}
+
+SHED=$(phase_block overload | sed -n 's/.*"shed": \([0-9]*\).*/\1/p')
+[ "${SHED:-0}" -gt 0 ] || {
+    echo "loadgen-smoke: overload phase shed nothing (wanted 429s from the narrow daemon)" >&2
+    phase_block overload >&2
+    exit 1
+}
+phase_block overload | grep -q '"retry_after_seen": true' || {
+    echo "loadgen-smoke: shed responses missing Retry-After" >&2
+    phase_block overload >&2
+    exit 1
+}
+
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "loadgen-smoke: daemon ignored SIGTERM" >&2; exit 1; }
+    sleep 0.1
+done
+wait "$PID" 2>/dev/null || { echo "loadgen-smoke: daemon exited non-zero" >&2; cat "$DIR/daemon.log" >&2; exit 1; }
+PID=
+echo "loadgen-smoke: ok (plan deterministic, warm served from memory, overload shed $SHED with Retry-After, bodies byte-identical across processes)"
