@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke loadgen-smoke loadgen-bench validate-smoke validate corpus corpus-smoke estimate-smoke tier1
+.PHONY: check vet build test race bench-smoke bench-json bench-json-smoke fuzz-smoke serve-smoke cluster-smoke loadgen-smoke loadgen-bench validate-smoke validate corpus corpus-smoke estimate-smoke energy-smoke tier1
 
-check: vet build race bench-smoke serve-smoke cluster-smoke loadgen-smoke validate-smoke corpus-smoke estimate-smoke fuzz-smoke
+check: vet build race bench-smoke serve-smoke cluster-smoke loadgen-smoke validate-smoke corpus-smoke estimate-smoke energy-smoke fuzz-smoke
 
 # tier1 is the fast gate the roadmap requires of every change.
 tier1:
@@ -116,6 +116,14 @@ corpus-smoke:
 estimate-smoke:
 	$(GO) run ./cmd/corpus -verify ESTIMATE_smoke.json
 
+# CI smoke for the energy model: resweep the {lru,ehc} × way-memo grid
+# over the smoke corpus and require the committed energy artifact
+# byte-identically (docs/ENERGY.md). Regenerate after an intended model
+# change with:
+#   go run ./cmd/corpus -energy -n 48 -out ENERGY_smoke.json
+energy-smoke:
+	$(GO) run ./cmd/corpus -verify ENERGY_smoke.json
+
 # 30 seconds of each fuzz target: enough to shake out codec and
 # marker-elimination regressions on fresh inputs without stalling the
 # gate. Longer campaigns: go test ./internal/trace -fuzz FuzzTraceRoundTrip
@@ -123,3 +131,4 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -fuzz FuzzTraceRoundTrip -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/regions -fuzz FuzzMarkerBalance -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/oracle -fuzz FuzzSynthOracleEquivalence -fuzztime 20s -run '^$$'
+	$(GO) test ./internal/oracle -fuzz FuzzPolicyOracleEquivalence -fuzztime 20s -run '^$$'

@@ -18,6 +18,13 @@
 //
 //	corpus -estimate -n 96 -out ESTIMATE_smoke.json
 //
+// With -energy the pipeline instead sweeps the mechanism-axis grid —
+// {lru, ehc} replacement × way memoization {off, on}, energy model
+// enabled — over base-version runs of every kernel and aggregates each
+// combo into a selcache-energy/v1 artifact:
+//
+//	corpus -energy -n 48 -out ENERGY_smoke.json
+//
 // Everything either artifact records is deterministic, so two runs with
 // the same parameters produce byte-identical files; -verify exploits that
 // to turn a committed artifact into a regression gate (the artifact kind
@@ -60,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = one per CPU)")
 	out := fs.String("out", "", "write the corpus-profile artifact (JSON) to this path")
 	estimate := fs.Bool("estimate", false, "score the symbolic estimator against the simulator instead of profiling classes")
+	energyOn := fs.Bool("energy", false, "sweep the policy × way-memo grid with the energy model instead of profiling classes")
 	list := fs.Bool("list", false, "list the family names, without running")
 	verify := fs.String("verify", "", "regenerate from this artifact's parameters and require byte equality (schema-sniffed)")
 	verbose := fs.Bool("v", false, "print every synthesized kernel and spot-check cell")
@@ -89,6 +97,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	spec := corpus.Spec{Families: fams, N: *n, BaseSeed: *seed}
+	if *estimate && *energyOn {
+		return fmt.Errorf("-estimate and -energy are mutually exclusive")
+	}
+	if *energyOn {
+		art, err := executeEnergy(spec, o, *workers, stdout, stderr)
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := art.WriteFile(*out); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", *out)
+		}
+		return nil
+	}
 	if *estimate {
 		art, err := executeEstimate(spec, o, *workers, stdout, stderr)
 		if err != nil {
@@ -139,6 +163,33 @@ func executeEstimate(spec corpus.Spec, o core.Options, workers int, stdout, stde
 	}
 	fmt.Fprintf(stdout, "estimate: fingerprint %s\n", art.CorpusFingerprint)
 	fmt.Fprintf(stderr, "estimate: %.1fs\n", time.Since(start).Seconds())
+	return art, nil
+}
+
+// executeEnergy runs the synthesize → policy×waymemo sweep → aggregate
+// pipeline behind -energy.
+func executeEnergy(spec corpus.Spec, o core.Options, workers int, stdout, stderr io.Writer) (*report.EnergyJSON, error) {
+	start := time.Now()
+	kernels, st, err := corpus.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "corpus: %d distinct kernels from %d families (%d draws, %d duplicates)\n",
+		len(kernels), len(spec.Families), st.Generated, st.Duplicates)
+	art := corpus.EnergyArtifact(spec, st, kernels, o, workers)
+	if err := art.Validate(); err != nil {
+		return nil, err
+	}
+	for _, c := range art.Combos {
+		memo := "off"
+		if c.WayMemo {
+			memo = "on"
+		}
+		fmt.Fprintf(stdout, "energy: %-3s memo=%-3s total %d pJ  (L1 miss %d, L2 miss %d, tag reads avoided %d)\n",
+			c.Policy, memo, c.TotalPJ, c.L1Misses, c.L2Misses, c.TagReadsAvoided)
+	}
+	fmt.Fprintf(stdout, "energy: fingerprint %s\n", art.CorpusFingerprint)
+	fmt.Fprintf(stderr, "energy: %.1fs\n", time.Since(start).Seconds())
 	return art, nil
 }
 
@@ -198,9 +249,57 @@ func verifyArtifact(path string, workers int, stdout io.Writer) error {
 		return verifyEstimateArtifact(path, workers, stdout)
 	case report.CorpusSchema:
 		return verifyCorpusArtifact(path, workers, stdout)
+	case report.EnergySchema:
+		return verifyEnergyArtifact(path, workers, stdout)
 	default:
-		return fmt.Errorf("%s: unknown schema %q (want %q or %q)", path, head.Schema, report.CorpusSchema, report.EstimateSchema)
+		return fmt.Errorf("%s: unknown schema %q (want %q, %q or %q)", path, head.Schema, report.CorpusSchema, report.EstimateSchema, report.EnergySchema)
 	}
+}
+
+// verifyEnergyArtifact is the energy-model counterpart: rerun the
+// policy × way-memo sweep from the artifact's recorded parameters and
+// require byte equality.
+func verifyEnergyArtifact(path string, workers int, stdout io.Writer) error {
+	want, err := report.LoadEnergyJSON(path)
+	if err != nil {
+		return err
+	}
+	fams := make([]synth.Family, len(want.Families))
+	for i, name := range want.Families {
+		f, ok := synth.FamilyByName(name)
+		if !ok {
+			return fmt.Errorf("%s: unknown family %q", path, name)
+		}
+		fams[i] = f
+	}
+	o := core.DefaultOptions()
+	if o.Mechanism, err = selectMechanism(want.Mechanism); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if o.Machine.Name != want.Machine {
+		return fmt.Errorf("%s: artifact machine %q, tool simulates %q", path, want.Machine, o.Machine.Name)
+	}
+	spec := corpus.Spec{Families: fams, N: want.Requested, BaseSeed: want.BaseSeed}
+	kernels, st, err := corpus.Build(spec)
+	if err != nil {
+		return err
+	}
+	got := corpus.EnergyArtifact(spec, st, kernels, o, workers)
+
+	wantJSON, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		return err
+	}
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		return fmt.Errorf("%s: regenerated artifact differs from committed file (same parameters must be byte-identical; regenerate with -energy -out if the change is intended)", path)
+	}
+	fmt.Fprintf(stdout, "verify %s: %d kernels × %d combos, artifact regenerates byte-identically\n",
+		path, got.Kernels, len(got.Combos))
+	return nil
 }
 
 func verifyCorpusArtifact(path string, workers int, stdout io.Writer) error {

@@ -24,9 +24,11 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"selcache/internal/core"
 	"selcache/internal/experiments"
 	"selcache/internal/parallel"
 	"selcache/internal/report"
+	"selcache/internal/sim"
 )
 
 func main() {
@@ -48,6 +50,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cpuprofile  = fs.String("cpuprofile", "", "write CPU profile to `file`")
 		benchjson   = fs.String("benchjson", "", "write a machine-readable perf artifact (selcache-bench/v1) to `file`")
 		verifybench = fs.String("verifybench", "", "validate an existing perf artifact at `file` and exit")
+		policySel   = fs.String("policy", "lru", "cache replacement policy for every cell: lru|ehc")
+		waymemo     = fs.Bool("waymemo", false, "enable way memoization on every cell")
+		energyOn    = fs.Bool("energy", false, "enable the energy model and print per-figure energy tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +76,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	doTable3 := *runSel == "all" || *runSel == "table3"
 	if !doTable2 && !doFigures && !doTable3 {
 		return fmt.Errorf("unknown -run %q", *runSel)
+	}
+
+	// The mechanism-axis flags thread through an OptionMod; at the
+	// defaults the mod stays nil and output is byte-identical to the
+	// committed reference.
+	var mod experiments.OptionMod
+	var pol sim.PolicyKind
+	switch *policySel {
+	case "lru":
+		pol = sim.PolicyLRU
+	case "ehc":
+		pol = sim.PolicyEHC
+	default:
+		return fmt.Errorf("unknown -policy %q (lru|ehc)", *policySel)
+	}
+	if pol != sim.PolicyLRU || *waymemo || *energyOn {
+		mod = func(o *core.Options) {
+			o.Policy = pol
+			o.WayMemo = *waymemo
+			o.Energy = *energyOn
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -114,7 +140,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	start := time.Now()
 	var events uint64
 	if doTable2 {
-		rows := experiments.Table2Cached(*workers, tc)
+		rows := experiments.Table2CachedMod(*workers, tc, mod)
 		for _, r := range rows {
 			events += r.Instructions
 			addCell(r.Benchmark, r.Instructions, r.WallNanos)
@@ -123,17 +149,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if doFigures {
 		for _, f := range experiments.Figures() {
-			sw := experiments.RunFigureCached(f, *workers, tc)
+			sw := experiments.RunFigureCachedMod(f, *workers, tc, mod)
 			events += sw.Events()
 			addSweep(sw)
 			report.WriteFigure(stdout, f.Name(), sw)
+			if *energyOn {
+				report.WriteEnergy(stdout, sw)
+			}
 			if f == experiments.Figure4 {
 				report.WriteClassAverages(stdout, sw)
 			}
 		}
 	}
 	if doTable3 {
-		rows, sweeps := experiments.Table3Cached(*workers, tc)
+		rows, sweeps := experiments.Table3CachedMod(*workers, tc, mod)
 		for _, sw := range sweeps {
 			events += sw.Events()
 			addSweep(sw)

@@ -332,6 +332,9 @@ func ctlRun(c *ctlClient, args []string, stderr io.Writer) error {
 		mech     = fs.String("mech", "bypass", "bypass|victim")
 		version  = fs.String("version", "", "restrict response to one version")
 		classify = fs.Bool("classify", false, "attribute misses to conflict/capacity/compulsory")
+		policy   = fs.String("policy", "lru", "replacement policy: lru|ehc")
+		waymemo  = fs.Bool("waymemo", false, "enable way memoization")
+		energyOn = fs.Bool("energy", false, "enable the energy model")
 		timeout  = fs.Int64("timeout-ms", 0, "request deadline in milliseconds (0: server default)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -343,8 +346,8 @@ func ctlRun(c *ctlClient, args []string, stderr io.Writer) error {
 	if *bench == "" {
 		return errors.New("ctl run: -bench is required")
 	}
-	body := fmt.Sprintf(`{"workload":%q,"config":%q,"mechanism":%q,"classify":%v,"version":%q,"timeout_ms":%d}`,
-		*bench, *config, *mech, *classify, *version, *timeout)
+	body := fmt.Sprintf(`{"workload":%q,"config":%q,"mechanism":%q,"classify":%v,"policy":%q,"waymemo":%v,"energy":%v,"version":%q,"timeout_ms":%d}`,
+		*bench, *config, *mech, *classify, *policy, *waymemo, *energyOn, *version, *timeout)
 	return c.post("/v1/run", body)
 }
 

@@ -12,6 +12,13 @@
 //	validate -short          # spot-check subset (one workload per class)
 //	validate -configs all    # additionally sweep the paper's variant machine configs
 //	validate -workloads swim,adi -mech victim
+//	validate -policy ehc -waymemo on   # sweep the replacement-policy axis
+//
+// The replacement-policy and way-memoization axes default to the paper's
+// configuration (LRU, memo off) on full runs; -short sweeps both axes so
+// the smoke gate lockstep-checks EHC and the way memo against the naive
+// reference. Way-memo cells also enable the energy model, so the pJ
+// accounting is part of the RunStats equality check.
 //
 // Exit status is non-zero when any cell diverges; the first divergence of
 // each failing cell is reported in the golden-trace-differ style (event
@@ -52,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	list := fs.Bool("list", false, "list the cells that would run, without running them")
 	workloadsFlag := fs.String("workloads", "", "comma-separated workload subset (default: all)")
 	mech := fs.String("mech", "both", "hardware mechanism: bypass|victim|both")
+	policy := fs.String("policy", "", "replacement policy: lru|ehc|both (default: lru, or both with -short)")
+	waymemo := fs.String("waymemo", "", "way memoization: off|on|both (default: off, or both with -short)")
 	configs := fs.String("configs", "base", "machine configurations: base|all (the paper's six)")
 	checkEvery := fs.Uint64("checkevery", oracle.DefaultCheckEvery, "deep structural check period, in events")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = one per CPU)")
@@ -68,6 +77,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	policies, err := selectPolicies(*policy, *short)
+	if err != nil {
+		return err
+	}
+	memos, err := selectMemos(*waymemo, *short)
+	if err != nil {
+		return err
+	}
 	var machines []sim.Config
 	switch *configs {
 	case "base":
@@ -78,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -configs %q (want base|all)", *configs)
 	}
 
-	cells := buildCells(selected, machines, mechs)
+	cells := buildCells(selected, machines, mechs, policies, memos)
 	if *list {
 		for _, c := range cells {
 			fmt.Fprintln(stdout, c.name())
@@ -172,32 +189,104 @@ func selectMechanisms(s string) ([]sim.HWKind, error) {
 	return nil, fmt.Errorf("unknown -mech %q (want bypass|victim|both)", s)
 }
 
+// selectPolicies resolves the replacement-policy axis: the paper's LRU on
+// full runs, both policies under -short so the smoke gate covers EHC.
+func selectPolicies(s string, short bool) ([]sim.PolicyKind, error) {
+	if s == "" {
+		if short {
+			s = "both"
+		} else {
+			s = "lru"
+		}
+	}
+	switch s {
+	case "lru":
+		return []sim.PolicyKind{sim.PolicyLRU}, nil
+	case "ehc":
+		return []sim.PolicyKind{sim.PolicyEHC}, nil
+	case "both":
+		return []sim.PolicyKind{sim.PolicyLRU, sim.PolicyEHC}, nil
+	}
+	return nil, fmt.Errorf("unknown -policy %q (want lru|ehc|both)", s)
+}
+
+// selectMemos resolves the way-memoization axis, with the same -short
+// default as selectPolicies.
+func selectMemos(s string, short bool) ([]bool, error) {
+	if s == "" {
+		if short {
+			s = "both"
+		} else {
+			s = "off"
+		}
+	}
+	switch s {
+	case "off":
+		return []bool{false}, nil
+	case "on":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	}
+	return nil, fmt.Errorf("unknown -waymemo %q (want off|on|both)", s)
+}
+
 // cell is one lockstep run of the matrix.
 type cell struct {
 	workload workloads.Workload
 	version  core.Version
 	machine  sim.Config
 	mech     sim.HWKind
+	policy   sim.PolicyKind
+	waymemo  bool
 }
 
 func (c cell) name() string {
-	return fmt.Sprintf("%s/%s/%s/%s", c.workload.Name, c.version, c.mech, c.machine.Name)
+	n := fmt.Sprintf("%s/%s/%s/%s", c.workload.Name, c.version, c.mech, c.machine.Name)
+	if c.policy == sim.PolicyEHC {
+		n += "/ehc"
+	}
+	if c.waymemo {
+		n += "/memo"
+	}
+	return n
+}
+
+// options translates the cell into run options. Way-memo cells also turn
+// the energy model on, so its picojoule accounting rides the RunStats
+// equality check for free.
+func (c cell) options() core.Options {
+	o := core.DefaultOptions()
+	o.Machine = c.machine
+	if c.mech != sim.HWNone {
+		o.Mechanism = c.mech
+	}
+	o.Policy = c.policy
+	o.WayMemo = c.waymemo
+	o.Energy = c.waymemo
+	return o
 }
 
 // buildCells enumerates the matrix. Base and PureSoftware never touch the
 // hardware mechanism (core wires HWNone for them), so they run once per
 // machine configuration instead of once per mechanism.
-func buildCells(ws []workloads.Workload, machines []sim.Config, mechs []sim.HWKind) []cell {
+func buildCells(ws []workloads.Workload, machines []sim.Config, mechs []sim.HWKind, policies []sim.PolicyKind, memos []bool) []cell {
 	var cells []cell
 	for _, w := range ws {
 		for _, m := range machines {
-			for _, v := range core.Versions() {
-				if v == core.Base || v == core.PureSoftware {
-					cells = append(cells, cell{workload: w, version: v, machine: m, mech: sim.HWNone})
-					continue
-				}
-				for _, mech := range mechs {
-					cells = append(cells, cell{workload: w, version: v, machine: m, mech: mech})
+			for _, pol := range policies {
+				for _, memo := range memos {
+					for _, v := range core.Versions() {
+						c := cell{workload: w, version: v, machine: m, mech: sim.HWNone, policy: pol, waymemo: memo}
+						if v == core.Base || v == core.PureSoftware {
+							cells = append(cells, c)
+							continue
+						}
+						for _, mech := range mechs {
+							c.mech = mech
+							cells = append(cells, c)
+						}
+					}
 				}
 			}
 		}
@@ -208,11 +297,7 @@ func buildCells(ws []workloads.Workload, machines []sim.Config, mechs []sim.HWKi
 // runCell prepares the version's program variant and interprets it against
 // the engine/reference lockstep pair.
 func runCell(c cell, checkEvery uint64) error {
-	o := core.DefaultOptions()
-	o.Machine = c.machine
-	if c.mech != sim.HWNone {
-		o.Mechanism = c.mech
-	}
+	o := c.options()
 	prog, _, _ := core.Prepare(c.workload.Build, c.version, o)
 	s := oracle.NewShadow(o.Machine, core.SimOptions(c.version, o))
 	s.CheckEvery = checkEvery
@@ -226,11 +311,7 @@ func runCell(c cell, checkEvery uint64) error {
 // engine — and requires the full RunStats to match exactly (WallNanos, the
 // one nondeterministic field, zeroed).
 func checkBatchedReplay(c cell) error {
-	o := core.DefaultOptions()
-	o.Machine = c.machine
-	if c.mech != sim.HWNone {
-		o.Mechanism = c.mech
-	}
+	o := c.options()
 	t, _, _ := core.RecordTrace(c.workload.Build, c.version, o)
 	sc := core.ReplayTraceScalar(t, c.version, o)
 	ba := core.ReplayTraceBuffered(t, c.version, o, nil)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"selcache/internal/cache/policy"
 	"selcache/internal/mem"
 )
 
@@ -54,6 +55,10 @@ type Stats struct {
 	Misses         uint64
 	Evictions      uint64
 	DirtyEvictions uint64
+	// Fills counts line installations (refreshes of already-resident
+	// blocks are not fills). The energy model charges tag+data writes
+	// per fill.
+	Fills uint64
 }
 
 // MissRate returns Misses/Accesses (zero when idle).
@@ -97,6 +102,16 @@ type Cache struct {
 	// influences replacement, so timing and stats are unchanged.
 	mru []uint8
 
+	// pol, when non-nil, owns victim selection (policy.Policy); the
+	// native stamps keep running (they order snapshots and drive the
+	// lruIndex fallback) but no longer pick victims. nil means native
+	// true-LRU — the default, with LookupFast/LookupSlow untouched.
+	pol policy.Policy
+	// memo, when non-nil, is the way-memoization table. Probes must go
+	// through LookupBlockExt (LookupBlock dispatches there) so the memo
+	// is consulted and maintained.
+	memo *wayMemo
+
 	// Stats accumulates hit/miss counters; the embedding controller is
 	// free to reset it between measurement windows.
 	Stats Stats
@@ -117,6 +132,23 @@ func New(cfg Config) *Cache {
 		mru:       make([]uint8, cfg.Sets()),
 	}
 }
+
+// SetPolicy attaches a replacement policy built for this cache's
+// geometry. It must be called before any traffic; attaching mid-stream
+// would let policy state diverge from residency.
+func (c *Cache) SetPolicy(p policy.Policy) { c.pol = p }
+
+// Policy returns the attached replacement policy (nil = native LRU).
+func (c *Cache) Policy() policy.Policy { return c.pol }
+
+// EnableWayMemo attaches a way-memoization table of the given size
+// (power of two). Like SetPolicy, call before any traffic.
+func (c *Cache) EnableWayMemo(entries int) { c.memo = newWayMemo(entries) }
+
+// Extended reports whether probes must take the LookupBlockExt path
+// (a policy or way memo is attached). Hot probe sites check it once at
+// setup and branch per access on a cached bool.
+func (c *Cache) Extended() bool { return c.pol != nil || c.memo != nil }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
@@ -148,9 +180,85 @@ func (c *Cache) Lookup(a mem.Addr, write bool) bool {
 // computed; the batched engine's pure phase precomputes block columns and
 // the stateful phase probes with them. It is LookupFast composed with
 // LookupSlow; hot probe sites call the pair directly so the fast half
-// inlines (the composition itself exceeds the inliner's budget).
+// inlines (the composition itself exceeds the inliner's budget). With a
+// policy or way memo attached it dispatches to LookupBlockExt instead —
+// hot sites that cache Extended() make the same choice without the
+// per-probe nil checks.
 func (c *Cache) LookupBlock(block uint64, write bool) bool {
+	if c.pol != nil || c.memo != nil {
+		return c.LookupBlockExt(block, write)
+	}
 	return c.LookupFast(block, write) || c.LookupSlow(block, write)
+}
+
+// LookupBlockExt is the probe path when a replacement policy or way memo
+// is attached: the exact LookupFast∘LookupSlow composition with the memo
+// probed first and the policy notified of hits. A memo hit resolves the
+// probe with no tag comparisons (the memo is sound: entries are
+// invalidated the moment their line leaves), leaving recency, dirty
+// bits, the MRU hint, statistics and timing exactly as the tag path
+// would have.
+func (c *Cache) LookupBlockExt(block uint64, write bool) bool {
+	c.Stats.Accesses++
+	c.clock++
+	s := int(block & c.setMask)
+	base := s * c.assoc
+	if c.memo != nil {
+		c.memo.stats.Probes++
+		if w, ok := c.memo.probe(block); ok {
+			ln := &c.lines[base+w]
+			if !ln.valid || ln.tag != block {
+				panic("cache: way-memo entry points at a non-matching line")
+			}
+			c.memo.stats.Hits++
+			ln.stamp = c.clock
+			if write {
+				ln.dirty = true
+			}
+			// The MRU hint is set exactly as the tag path would have left
+			// it, so machine state is identical with the memo on or off.
+			c.mru[s] = uint8(w)
+			c.Stats.Hits++
+			if c.pol != nil {
+				c.pol.Hit(s, w)
+			}
+			return true
+		}
+	}
+	if ln := &c.lines[base+int(c.mru[s])]; ln.valid && ln.tag == block {
+		ln.stamp = c.clock
+		if write {
+			ln.dirty = true
+		}
+		c.Stats.Hits++
+		if c.pol != nil {
+			c.pol.Hit(s, int(c.mru[s]))
+		}
+		if c.memo != nil {
+			c.memo.install(block, int(c.mru[s]))
+		}
+		return true
+	}
+	set := c.lines[base : base+c.assoc]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].stamp = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.mru[s] = uint8(i)
+			c.Stats.Hits++
+			if c.pol != nil {
+				c.pol.Hit(s, i)
+			}
+			if c.memo != nil {
+				c.memo.install(block, i)
+			}
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
 }
 
 // LookupFast is the MRU fast path of a probe: it charges the access and
@@ -214,14 +322,14 @@ func (c *Cache) Contains(a mem.Addr) bool {
 func (c *Cache) VictimBlock(a mem.Addr) (mem.Addr, bool) {
 	block := uint64(a) >> c.blockBits
 	set := c.set(block)
-	vi := c.lruIndex(set)
+	vi := c.victimIndex(int(block&c.setMask), set)
 	if !set[vi].valid {
 		return 0, false
 	}
 	return mem.Addr(set[vi].tag << c.blockBits), true
 }
 
-func (c *Cache) lruIndex(set []line) int {
+func lruIndex(set []line) int {
 	vi := 0
 	for i := range set {
 		if !set[i].valid {
@@ -234,69 +342,51 @@ func (c *Cache) lruIndex(set []line) int {
 	return vi
 }
 
-// Fill installs the block containing a, evicting the LRU line of its set if
-// necessary, and returns the displaced line. dirty marks the incoming line
-// dirty (write-allocate stores). Filling an already-resident block just
-// refreshes it.
-//
-// Residency and victim choice are resolved in a single pass over the set
-// (the victim is the first invalid way, else the first minimum-stamp way —
-// exactly lruIndex's choice); Fill is on the miss path of every access, so
-// the second scan was measurable.
+// victimIndex is the single victim-selection seam: every fill path
+// (Fill, FillMiss, VictimWay/FillWay, VictimBlock) routes through it, so
+// "the victim choice is exactly Fill's" holds by construction rather
+// than by parallel re-implementations. With a policy attached the policy
+// owns the choice; otherwise it is the native first-invalid-else-
+// minimum-stamp walk.
+func (c *Cache) victimIndex(s int, set []line) int {
+	if c.pol != nil {
+		return c.pol.Victim(s)
+	}
+	return lruIndex(set)
+}
+
+// Fill installs the block containing a, evicting the victim line of its
+// set if necessary, and returns the displaced line. dirty marks the
+// incoming line dirty (write-allocate stores). Filling an already-
+// resident block just refreshes it.
 func (c *Cache) Fill(a mem.Addr, dirty bool) Evicted {
-	c.clock++
 	block := uint64(a) >> c.blockBits
 	s := int(block & c.setMask)
 	set := c.lines[s*c.assoc : (s+1)*c.assoc]
-	inv, mi := -1, -1
 	for i := range set {
-		if !set[i].valid {
-			if inv < 0 {
-				inv = i
-			}
-			continue
-		}
-		if set[i].tag == block {
+		if set[i].valid && set[i].tag == block {
+			c.clock++
 			set[i].stamp = c.clock
 			set[i].dirty = set[i].dirty || dirty
 			c.mru[s] = uint8(i)
+			if c.pol != nil {
+				c.pol.Hit(s, i)
+			}
 			return Evicted{}
 		}
-		if mi < 0 || set[i].stamp < set[mi].stamp {
-			mi = i
-		}
 	}
-	vi := inv
-	if vi < 0 {
-		vi = mi
-	}
-	ev := Evicted{}
-	if set[vi].valid {
-		ev = Evicted{
-			BlockAddr: mem.Addr(set[vi].tag << c.blockBits),
-			Dirty:     set[vi].dirty,
-			Valid:     true,
-		}
-		c.Stats.Evictions++
-		if set[vi].dirty {
-			c.Stats.DirtyEvictions++
-		}
-	}
-	set[vi] = line{tag: block, stamp: c.clock, valid: true, dirty: dirty}
-	c.mru[s] = uint8(vi)
-	return ev
+	return c.fillWay(block, c.victimIndex(s, set), dirty)
 }
 
 // FillMiss is Fill for a block the caller knows is absent: the Lookup that
 // just missed was on this same set and nothing has touched the set since
 // (L2 traffic, victim-cache probes and bypass-buffer activity do not).
 // Skipping the residency scan roughly halves the fill cost, and fills sit
-// on the miss path of every simulated access. The victim choice — first
-// invalid way, else first minimum-stamp way — is exactly Fill's.
+// on the miss path of every simulated access.
 func (c *Cache) FillMiss(a mem.Addr, dirty bool) Evicted {
 	block := uint64(a) >> c.blockBits
-	set := c.set(block)
-	return c.fillWay(block, c.lruIndex(set), dirty)
+	s := int(block & c.setMask)
+	return c.fillWay(block, c.victimIndex(s, c.set(block)), dirty)
 }
 
 // VictimWay is VictimBlock with the chosen way exposed, so a caller that
@@ -305,7 +395,7 @@ func (c *Cache) FillMiss(a mem.Addr, dirty bool) Evicted {
 func (c *Cache) VictimWay(a mem.Addr) (way int, victim mem.Addr, valid bool) {
 	block := uint64(a) >> c.blockBits
 	set := c.set(block)
-	vi := c.lruIndex(set)
+	vi := c.victimIndex(int(block&c.setMask), set)
 	if !set[vi].valid {
 		return vi, 0, false
 	}
@@ -319,7 +409,10 @@ func (c *Cache) FillWay(a mem.Addr, way int, dirty bool) Evicted {
 }
 
 // fillWay installs block into the given way of its set, charging eviction
-// statistics for a displaced valid line.
+// statistics for a displaced valid line. It is the single line-install
+// site: policy Fill notifications, way-memo maintenance (invalidate the
+// evicted block's entry, then memoize the incoming block) and the Fills
+// counter all live here.
 func (c *Cache) fillWay(block uint64, way int, dirty bool) Evicted {
 	c.clock++
 	s := int(block & c.setMask)
@@ -335,9 +428,19 @@ func (c *Cache) fillWay(block uint64, way int, dirty bool) Evicted {
 		if ln.dirty {
 			c.Stats.DirtyEvictions++
 		}
+		if c.memo != nil {
+			c.memo.invalidate(ln.tag)
+		}
 	}
 	*ln = line{tag: block, stamp: c.clock, valid: true, dirty: dirty}
 	c.mru[s] = uint8(way)
+	c.Stats.Fills++
+	if c.pol != nil {
+		c.pol.Fill(s, way, block)
+	}
+	if c.memo != nil {
+		c.memo.install(block, way)
+	}
 	return ev
 }
 
@@ -345,11 +448,18 @@ func (c *Cache) fillWay(block uint64, way int, dirty bool) Evicted {
 // dirty bit. Victim-cache swaps use it.
 func (c *Cache) Remove(a mem.Addr) (dirty, ok bool) {
 	block := uint64(a) >> c.blockBits
-	set := c.set(block)
+	s := int(block & c.setMask)
+	set := c.lines[s*c.assoc : (s+1)*c.assoc]
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
 			d := set[i].dirty
 			set[i] = line{}
+			if c.pol != nil {
+				c.pol.Invalidate(s, i)
+			}
+			if c.memo != nil {
+				c.memo.invalidate(block)
+			}
 			return d, true
 		}
 	}
@@ -361,10 +471,18 @@ func (c *Cache) Remove(a mem.Addr) (dirty, ok bool) {
 func (c *Cache) Flush() int {
 	dirty := 0
 	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
-			dirty++
+		if c.lines[i].valid {
+			if c.lines[i].dirty {
+				dirty++
+			}
+			if c.pol != nil {
+				c.pol.Invalidate(i/c.assoc, i%c.assoc)
+			}
 		}
 		c.lines[i] = line{}
+	}
+	if c.memo != nil {
+		c.memo.flush()
 	}
 	return dirty
 }

@@ -1,0 +1,134 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"selcache/internal/cache/policy"
+	"selcache/internal/mem"
+)
+
+// TestLRUPolicyMatchesNativeStamps is the metamorphic equality check for
+// the policy seam: a cache with policy.LRU attached must make bit-
+// identical decisions to the native stamp path — same lookup outcomes,
+// same victims, same evictions, same statistics, same snapshot content —
+// on a pseudorandom stream of every mutating operation.
+func TestLRUPolicyMatchesNativeStamps(t *testing.T) {
+	cfg := Config{Size: 1 << 12, Assoc: 4, Block: 32}
+	native := New(cfg)
+	viaPol := New(cfg)
+	viaPol.SetPolicy(policy.NewLRU(cfg.Sets(), cfg.Assoc))
+
+	s := uint64(0xA5A5)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s * 0x2545F4914F6CDD1D
+	}
+	// Footprint 4× the cache so every set churns.
+	addr := func(r uint64) mem.Addr { return mem.Addr((r >> 16) % (4 << 12) &^ 7) }
+
+	for i := 0; i < 200000; i++ {
+		r := next()
+		a := addr(r)
+		switch r % 100 {
+		case 96, 97: // remove (victim-cache swap path)
+			d1, ok1 := native.Remove(a)
+			d2, ok2 := viaPol.Remove(a)
+			if d1 != d2 || ok1 != ok2 {
+				t.Fatalf("op %d: Remove(%#x) native (%v,%v) policy (%v,%v)", i, a, d1, ok1, d2, ok2)
+			}
+		case 98: // flush
+			if f1, f2 := native.Flush(), viaPol.Flush(); f1 != f2 {
+				t.Fatalf("op %d: Flush native %d policy %d", i, f1, f2)
+			}
+		case 99: // victim prediction (must not perturb state)
+			v1, ok1 := native.VictimBlock(a)
+			v2, ok2 := viaPol.VictimBlock(a)
+			if v1 != v2 || ok1 != ok2 {
+				t.Fatalf("op %d: VictimBlock(%#x) native (%#x,%v) policy (%#x,%v)", i, a, v1, ok1, v2, ok2)
+			}
+		default:
+			write := r>>32%10 < 3
+			h1 := native.Lookup(a, write)
+			h2 := viaPol.Lookup(a, write)
+			if h1 != h2 {
+				t.Fatalf("op %d: Lookup(%#x) native %v policy %v", i, a, h1, h2)
+			}
+			if !h1 {
+				var e1, e2 Evicted
+				// Exercise both fill entry points.
+				if r>>40%2 == 0 {
+					e1, e2 = native.FillMiss(a, write), viaPol.FillMiss(a, write)
+				} else {
+					e1, e2 = native.Fill(a, write), viaPol.Fill(a, write)
+				}
+				if e1 != e2 {
+					t.Fatalf("op %d: Fill(%#x) native %+v policy %+v", i, a, e1, e2)
+				}
+			}
+		}
+	}
+	if native.Stats != viaPol.Stats {
+		t.Fatalf("stats diverged:\n native %+v\n policy %+v", native.Stats, viaPol.Stats)
+	}
+	if a, b := native.SnapshotSets(), viaPol.SnapshotSets(); !reflect.DeepEqual(a, b) {
+		t.Fatal("snapshot content diverged")
+	}
+}
+
+// TestWayMemoLeavesProbeOutcomesUnchanged runs the same stream through a
+// plain cache and a memoized one: every probe outcome, eviction and
+// statistic must match, the memo must stay sound, and its accounting
+// must conserve.
+func TestWayMemoLeavesProbeOutcomesUnchanged(t *testing.T) {
+	cfg := Config{Size: 1 << 12, Assoc: 4, Block: 32}
+	plain := New(cfg)
+	memo := New(cfg)
+	memo.EnableWayMemo(64)
+
+	s := uint64(0x5A5A)
+	next := func() uint64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s * 0x2545F4914F6CDD1D
+	}
+	for i := 0; i < 200000; i++ {
+		r := next()
+		a := mem.Addr((r >> 16) % (2 << 12) &^ 7)
+		write := r>>32%10 < 3
+		h1 := plain.Lookup(a, write)
+		h2 := memo.Lookup(a, write)
+		if h1 != h2 {
+			t.Fatalf("op %d: Lookup(%#x) plain %v memoized %v", i, a, h1, h2)
+		}
+		if !h1 {
+			if e1, e2 := plain.FillMiss(a, write), memo.FillMiss(a, write); e1 != e2 {
+				t.Fatalf("op %d: fill plain %+v memoized %+v", i, a, e1)
+			}
+		}
+		if i%5000 == 0 {
+			if err := memo.CheckWayMemo(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if plain.Stats != memo.Stats {
+		t.Fatalf("stats diverged:\n plain %+v\n memoized %+v", plain.Stats, memo.Stats)
+	}
+	if a, b := plain.SnapshotSets(), memo.SnapshotSets(); !reflect.DeepEqual(a, b) {
+		t.Fatal("snapshot content diverged")
+	}
+	if err := memo.CheckWayMemo(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := memo.WayMemoCounters()
+	if !ok || st.Probes != memo.Stats.Accesses {
+		t.Fatalf("memo probes %d (ok=%v) != accesses %d", st.Probes, ok, memo.Stats.Accesses)
+	}
+	if st.Hits == 0 {
+		t.Fatal("stream produced zero memo hits")
+	}
+}

@@ -26,6 +26,14 @@ import (
 // ring all return false, sending the lookup to the next tier. A peer
 // answer is validated exactly like a remote execution — echoed key,
 // version count, canonical order — so a skewed peer fails closed.
+//
+// When the owner misses or fails, one more bounded hop asks the key's
+// second replica — the next distinct worker on the ring. Results land on
+// the successor whenever membership shifted between store and lookup (a
+// worker joined and took over the shard, or the owner was down when the
+// cell was computed), so a single retry recovers those hits instead of
+// re-executing the cell. The hierarchy stays strictly read-only and
+// bounded: at most two PeerTimeout-bounded GETs, never an execution.
 func (c *Coordinator) FetchCached(spec server.Spec) (server.StoredResult, bool) {
 	if c.peers == nil {
 		return server.StoredResult{}, false
@@ -35,7 +43,19 @@ func (c *Coordinator) FetchCached(spec server.Spec) (server.StoredResult, bool) 
 	if w == nil {
 		return server.StoredResult{}, false
 	}
+	if res, ok := c.fetchFrom(w, spec, key); ok {
+		return res, true
+	}
+	second := c.pick(key, w.addr)
+	if second == nil || second.addr == w.addr {
+		return server.StoredResult{}, false
+	}
+	return c.fetchFrom(second, spec, key)
+}
 
+// fetchFrom performs one validated GET /v1/results/{key} against one
+// worker. Each call counts as one PeerFetch.
+func (c *Coordinator) fetchFrom(w *worker, spec server.Spec, key string) (server.StoredResult, bool) {
 	c.mu.Lock()
 	c.stats.PeerFetches++
 	c.mu.Unlock()

@@ -124,6 +124,76 @@ func TestPeerFetchOwnerDown(t *testing.T) {
 	}
 }
 
+// TestPeerFetchOwnerDownSecondReplicaHit: the ring owner is dead but the
+// key's second replica holds the result — the peer tier pays one failed
+// fetch, retries the next distinct worker on the ring, and serves the
+// cached bytes without executing anywhere.
+func TestPeerFetchOwnerDownSecondReplicaHit(t *testing.T) {
+	ref := newTestNode(t, "", nil, nil)
+	_, refBody := postJSON(t, ref.ts.URL+"/v1/run", runSwim)
+
+	cfg := peerConfig()
+	// Freeze membership so the dead owner keeps its shard: the retry must
+	// come from the second-replica hop, not from a health-loop eviction
+	// rebuilding the ring around the corpse.
+	cfg.HealthInterval = time.Hour
+	co := newCoordNode(t, cfg)
+	co.srv.SetPeerFetch(co.coord.FetchCached)
+
+	w1 := newTestNode(t, "worker", nil, nil)
+	w2 := newTestNode(t, "worker", nil, nil)
+	mustJoin(t, co.ts.URL, w1.ts.URL)
+	mustJoin(t, co.ts.URL, w2.ts.URL)
+
+	// Warm both workers so the surviving replica has the result no matter
+	// which of the two owns the shard.
+	postJSON(t, w1.ts.URL+"/v1/run", runSwim)
+	postJSON(t, w2.ts.URL+"/v1/run", runSwim)
+
+	spec, _, err := server.ResolveSpec(server.RunRequest{Workload: "swim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := co.coord.pick(spec.Key(), "")
+	if owner == nil {
+		t.Fatal("empty ring")
+	}
+	survivor := w1
+	switch owner.addr {
+	case w1.ts.URL:
+		w1.ts.Close()
+		survivor = w2
+	case w2.ts.URL:
+		w2.ts.Close()
+	default:
+		t.Fatalf("owner %q is neither worker", owner.addr)
+	}
+
+	resp, body := postJSON(t, co.ts.URL+"/v1/run", runSwim)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if tier := resp.Header.Get("X-Selcache-Tier"); tier != server.TierPeer {
+		t.Fatalf("tier %q, want %q (second replica should serve)", tier, server.TierPeer)
+	}
+	if !bytes.Equal(body, refBody) {
+		t.Fatal("second-replica response not byte-identical to single-node")
+	}
+	if n := co.runs.Load(); n != 0 {
+		t.Fatalf("second-replica hit ran %d cells on the coordinator", n)
+	}
+	if n := survivor.runs.Load(); n != 1 {
+		t.Fatalf("survivor ran %d cells, want only its warming run", n)
+	}
+	st := co.coord.Status().Stats
+	if st.PeerFetches != 2 || st.PeerErrors != 1 || st.PeerHits != 1 {
+		t.Fatalf("peer stats = %+v, want owner failure then replica hit", st)
+	}
+	if st.RemoteCells != 0 {
+		t.Fatalf("replica hit still forwarded a cell (remote_cells=%d)", st.RemoteCells)
+	}
+}
+
 // TestPeerFetchSlowOwner: an owner that dawdles past PeerTimeout on the
 // results endpoint costs one bounded timeout, then the request proceeds
 // through remote execution (which has its own hedging) — a slow peer

@@ -103,6 +103,14 @@ type Options struct {
 	// sizes (zero: the paper's 64 and 512).
 	L1VictimEntries int
 	L2VictimEntries int
+	// Policy selects the cache replacement policy for every version
+	// (zero: true LRU). Unlike Mechanism this is a machine property, so
+	// it applies to base and pure-software runs too.
+	Policy sim.PolicyKind
+	// WayMemo enables way memoization on both cache levels; Energy
+	// enables the per-run energy model. Both apply to every version.
+	WayMemo bool
+	Energy  bool
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -180,6 +188,9 @@ func simOptions(v Version, o Options) sim.Options {
 		MAT:             o.MAT,
 		L1VictimEntries: o.L1VictimEntries,
 		L2VictimEntries: o.L2VictimEntries,
+		Policy:          o.Policy,
+		WayMemo:         o.WayMemo,
+		Energy:          o.Energy,
 	}
 	switch v {
 	case Base, PureSoftware:

@@ -1,0 +1,159 @@
+// Package energy models the dynamic access energy of the simulated
+// memory hierarchy (docs/ENERGY.md). The model follows the accounting of
+// way-memoization papers (Ishihara & Fallah, arXiv 0710.4703): a
+// conventional probe of an A-way set-associative cache reads A tag ways
+// and A data ways in parallel; a memoized probe skips every tag read and
+// reads exactly one data way; a fill writes one tag and one data way.
+// DRAM traffic, TLB probes and the mechanism side structures (victim
+// caches, bypass buffer) are charged per operation.
+//
+// Everything is integer picojoules: energy is computed once per run as a
+// pure function of the final counters (no per-access floating-point
+// accumulation), so results are deterministic, order-independent and
+// directly comparable between the engine and the oracle's reference
+// machine.
+package energy
+
+// Coefficients are per-event energies in picojoules. The defaults are
+// representative 65 nm-class SRAM/DRAM figures in the ratio the
+// literature reports (per-way tag reads an order of magnitude cheaper
+// than per-way data reads; DRAM two orders costlier than L2); see
+// docs/ENERGY.md for provenance. Absolute joules are not the point —
+// the model exists to rank mechanisms, and ranking depends only on the
+// ratios.
+type Coefficients struct {
+	// L1TagRead / L1DataRead are per-way read energies at L1; a
+	// conventional probe charges Assoc of each.
+	L1TagRead  uint64
+	L1DataRead uint64
+	// L1Fill is the tag+data write energy of installing one L1 line.
+	L1Fill uint64
+
+	L2TagRead  uint64
+	L2DataRead uint64
+	L2Fill     uint64
+
+	// MemoProbe is the way-memo table lookup charged on every probe
+	// while the memo is enabled (the overhead the skipped tag reads must
+	// beat).
+	MemoProbe uint64
+
+	// TLBProbe is charged per TLB access.
+	TLBProbe uint64
+
+	// VictimOp is charged per victim-cache probe or insert; BufferOp per
+	// bypass-buffer probe or fill.
+	VictimOp uint64
+	BufferOp uint64
+
+	// DRAMRead / DRAMWrite are per-L2-block main-memory transfers.
+	DRAMRead  uint64
+	DRAMWrite uint64
+}
+
+// Default returns the documented default coefficients.
+func Default() Coefficients {
+	return Coefficients{
+		L1TagRead:  6,
+		L1DataRead: 40,
+		L1Fill:     60,
+
+		L2TagRead:  18,
+		L2DataRead: 160,
+		L2Fill:     240,
+
+		MemoProbe: 4,
+
+		TLBProbe: 10,
+
+		VictimOp: 20,
+		BufferOp: 12,
+
+		DRAMRead:  12000,
+		DRAMWrite: 12000,
+	}
+}
+
+// LevelInputs are one cache level's counters.
+type LevelInputs struct {
+	// Assoc is the set associativity (ways read per conventional probe).
+	Assoc uint64
+	// Accesses is the total probe count; MemoProbes of them consulted
+	// the way memo and MemoHits of those skipped the tag path entirely.
+	Accesses   uint64
+	MemoProbes uint64
+	MemoHits   uint64
+	// Fills counts line installations.
+	Fills uint64
+}
+
+// Inputs are the per-run counters the model consumes. They are all
+// derivable from sim.RunStats; see sim.EnergyInputs.
+type Inputs struct {
+	L1, L2 LevelInputs
+	// TLBProbes counts TLB accesses.
+	TLBProbes uint64
+	// VictimOps counts victim-cache probes plus inserts (both levels);
+	// BufferOps counts bypass-buffer probes plus fills.
+	VictimOps uint64
+	BufferOps uint64
+	// DRAMReads / DRAMWrites count main-memory block transfers.
+	DRAMReads  uint64
+	DRAMWrites uint64
+}
+
+// Stats is the per-run energy breakdown in picojoules, plus the tag-read
+// counts the way memo avoided (the headline way-memoization statistic).
+// All fields are integers computed from integer counters, so two runs
+// with equal counters have equal Stats — the struct participates in the
+// engine-vs-oracle RunStats equality check.
+type Stats struct {
+	L1TagPJ  uint64
+	L1DataPJ uint64
+	L1FillPJ uint64
+
+	L2TagPJ  uint64
+	L2DataPJ uint64
+	L2FillPJ uint64
+
+	MemoPJ uint64
+	TLBPJ  uint64
+	// AuxPJ covers the mechanism side structures (victim caches, bypass
+	// buffer).
+	AuxPJ  uint64
+	DRAMPJ uint64
+
+	TotalPJ uint64
+
+	L1TagReadsAvoided uint64
+	L2TagReadsAvoided uint64
+}
+
+// Compute evaluates the model. A memoized hit performs zero tag reads
+// and one data-way read; every other probe performs Assoc tag reads and
+// Assoc data-way reads.
+func Compute(c Coefficients, in Inputs) Stats {
+	tagged1 := in.L1.Accesses - in.L1.MemoHits
+	tagged2 := in.L2.Accesses - in.L2.MemoHits
+	st := Stats{
+		L1TagPJ:  tagged1 * in.L1.Assoc * c.L1TagRead,
+		L1DataPJ: (tagged1*in.L1.Assoc + in.L1.MemoHits) * c.L1DataRead,
+		L1FillPJ: in.L1.Fills * c.L1Fill,
+
+		L2TagPJ:  tagged2 * in.L2.Assoc * c.L2TagRead,
+		L2DataPJ: (tagged2*in.L2.Assoc + in.L2.MemoHits) * c.L2DataRead,
+		L2FillPJ: in.L2.Fills * c.L2Fill,
+
+		MemoPJ: (in.L1.MemoProbes + in.L2.MemoProbes) * c.MemoProbe,
+		TLBPJ:  in.TLBProbes * c.TLBProbe,
+		AuxPJ:  in.VictimOps*c.VictimOp + in.BufferOps*c.BufferOp,
+		DRAMPJ: in.DRAMReads*c.DRAMRead + in.DRAMWrites*c.DRAMWrite,
+
+		L1TagReadsAvoided: in.L1.MemoHits * in.L1.Assoc,
+		L2TagReadsAvoided: in.L2.MemoHits * in.L2.Assoc,
+	}
+	st.TotalPJ = st.L1TagPJ + st.L1DataPJ + st.L1FillPJ +
+		st.L2TagPJ + st.L2DataPJ + st.L2FillPJ +
+		st.MemoPJ + st.TLBPJ + st.AuxPJ + st.DRAMPJ
+	return st
+}

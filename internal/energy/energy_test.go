@@ -1,0 +1,67 @@
+package energy
+
+import "testing"
+
+// TestComputeHandChecked pins the model against a hand-computed run:
+// small counters, every component exercised, including memoized hits
+// that skip tag reads and read exactly one data way.
+func TestComputeHandChecked(t *testing.T) {
+	c := Coefficients{
+		L1TagRead: 1, L1DataRead: 10, L1Fill: 100,
+		L2TagRead: 2, L2DataRead: 20, L2Fill: 200,
+		MemoProbe: 3, TLBProbe: 5,
+		VictimOp: 7, BufferOp: 11,
+		DRAMRead: 1000, DRAMWrite: 2000,
+	}
+	in := Inputs{
+		L1:         LevelInputs{Assoc: 2, Accesses: 10, MemoProbes: 10, MemoHits: 4, Fills: 3},
+		L2:         LevelInputs{Assoc: 4, Accesses: 5, MemoProbes: 5, MemoHits: 1, Fills: 2},
+		TLBProbes:  10,
+		VictimOps:  6,
+		BufferOps:  2,
+		DRAMReads:  2,
+		DRAMWrites: 1,
+	}
+	got := Compute(c, in)
+	want := Stats{
+		// 6 tagged L1 probes × 2 ways; data adds one way per memo hit.
+		L1TagPJ:  6 * 2 * 1,
+		L1DataPJ: (6*2 + 4) * 10,
+		L1FillPJ: 3 * 100,
+		// 4 tagged L2 probes × 4 ways.
+		L2TagPJ:  4 * 4 * 2,
+		L2DataPJ: (4*4 + 1) * 20,
+		L2FillPJ: 2 * 200,
+		MemoPJ:   (10 + 5) * 3,
+		TLBPJ:    10 * 5,
+		AuxPJ:    6*7 + 2*11,
+		DRAMPJ:   2*1000 + 1*2000,
+
+		L1TagReadsAvoided: 4 * 2,
+		L2TagReadsAvoided: 1 * 4,
+	}
+	want.TotalPJ = want.L1TagPJ + want.L1DataPJ + want.L1FillPJ +
+		want.L2TagPJ + want.L2DataPJ + want.L2FillPJ +
+		want.MemoPJ + want.TLBPJ + want.AuxPJ + want.DRAMPJ
+	if got != want {
+		t.Fatalf("Compute = %+v, want %+v", got, want)
+	}
+}
+
+// TestComputeNoMemo: with the memo off (zero memo probes and hits), the
+// model reduces to conventional Assoc-way probing and reports no avoided
+// tag reads.
+func TestComputeNoMemo(t *testing.T) {
+	c := Default()
+	in := Inputs{
+		L1: LevelInputs{Assoc: 2, Accesses: 100, Fills: 10},
+		L2: LevelInputs{Assoc: 4, Accesses: 20, Fills: 5},
+	}
+	got := Compute(c, in)
+	if got.MemoPJ != 0 || got.L1TagReadsAvoided != 0 || got.L2TagReadsAvoided != 0 {
+		t.Fatalf("memo-off run reports memo activity: %+v", got)
+	}
+	if got.L1TagPJ != 100*2*c.L1TagRead || got.L1DataPJ != 100*2*c.L1DataRead {
+		t.Fatalf("conventional L1 probe accounting wrong: %+v", got)
+	}
+}

@@ -230,9 +230,29 @@ func RunFigureWorkers(f FigureID, workers int) Sweep {
 // 4–9 differ only in machine configuration, so one cache lets all six
 // replay the same 39 recorded streams.
 func RunFigureCached(f FigureID, workers int, tc *TraceCache) Sweep {
+	return RunFigureCachedMod(f, workers, tc, nil)
+}
+
+// OptionMod adjusts the options of every cell in a driver-level run; the
+// machine-axis flags of cmd/experiments (-policy, -waymemo, -energy)
+// thread through it. nil means no adjustment. Mods must only touch
+// machine-level knobs (replacement policy, way memo, energy, mechanism
+// tables) — the recorded event streams do not depend on those, so the
+// trace cache stays shared across modded and unmodded runs.
+type OptionMod func(*core.Options)
+
+func (m OptionMod) apply(o *core.Options) {
+	if m != nil {
+		m(o)
+	}
+}
+
+// RunFigureCachedMod is RunFigureCached with an option adjustment.
+func RunFigureCachedMod(f FigureID, workers int, tc *TraceCache, mod OptionMod) Sweep {
 	o := core.DefaultOptions()
 	o.Machine = f.Config()
 	o.Mechanism = sim.HWBypass
+	mod.apply(&o)
 	return RunSweepCached(o, nil, workers, tc)
 }
 
@@ -268,8 +288,14 @@ func Table2Workers(workers int) []Table2Row {
 // Table2Cached is Table2Workers with a shared trace cache: the base
 // streams it records are the same ones the figures and Table 3 replay.
 func Table2Cached(workers int, tc *TraceCache) []Table2Row {
+	return Table2CachedMod(workers, tc, nil)
+}
+
+// Table2CachedMod is Table2Cached with an option adjustment.
+func Table2CachedMod(workers int, tc *TraceCache, mod OptionMod) []Table2Row {
 	o := core.DefaultOptions()
 	o.Classify = true
+	mod.apply(&o)
 	ws := workloads.All()
 	tc = tc.orNew()
 	blocks := blockArena(workers)
@@ -325,7 +351,12 @@ func Table3Detail(workers int) ([]Table3Row, []Sweep) {
 
 // Table3Cached is Table3Detail with a shared trace cache.
 func Table3Cached(workers int, tc *TraceCache) ([]Table3Row, []Sweep) {
-	return table3Detail(workers, nil, tc)
+	return table3Detail(workers, nil, tc, nil)
+}
+
+// Table3CachedMod is Table3Cached with an option adjustment.
+func Table3CachedMod(workers int, tc *TraceCache, mod OptionMod) ([]Table3Row, []Sweep) {
+	return table3Detail(workers, nil, tc, mod)
 }
 
 // table3Detail flattens the full (configuration × mechanism × benchmark)
@@ -335,7 +366,7 @@ func Table3Cached(workers int, tc *TraceCache) ([]Table3Row, []Sweep) {
 // the default table reduce to 39 recordings (13 benchmarks × 3 stream
 // classes; nothing in the key varies across configurations or mechanisms).
 // ws overrides the benchmark list for tests.
-func table3Detail(workers int, ws []workloads.Workload, tc *TraceCache) ([]Table3Row, []Sweep) {
+func table3Detail(workers int, ws []workloads.Workload, tc *TraceCache, mod OptionMod) ([]Table3Row, []Sweep) {
 	if ws == nil {
 		ws = workloads.All()
 	}
@@ -349,6 +380,7 @@ func table3Detail(workers int, ws []workloads.Workload, tc *TraceCache) ([]Table
 			o := core.DefaultOptions()
 			o.Machine = cfg
 			o.Mechanism = mech
+			mod.apply(&o)
 			opts = append(opts, o)
 		}
 	}

@@ -51,8 +51,8 @@ func TestTable3ParallelMatchesSerial(t *testing.T) {
 	// Two workloads keep the 12-sweep flattening honest (cell index maps
 	// to (sweep, workload)) while staying affordable on one CPU.
 	ws := subset()[:2]
-	serialRows, serialSweeps := table3Detail(parallel.Serial, ws, nil)
-	parRows, parSweeps := table3Detail(4, ws, nil)
+	serialRows, serialSweeps := table3Detail(parallel.Serial, ws, nil, nil)
+	parRows, parSweeps := table3Detail(4, ws, nil, nil)
 	for i := range serialSweeps {
 		normalize(&serialSweeps[i])
 	}
@@ -69,7 +69,7 @@ func TestTable3ParallelMatchesSerial(t *testing.T) {
 
 func TestTable3Shapes(t *testing.T) {
 	ws := subset()[:1]
-	rows, sweeps := table3Detail(0, ws, nil)
+	rows, sweeps := table3Detail(0, ws, nil, nil)
 	cfgs := sim.ExperimentConfigs()
 	if len(rows) != len(cfgs) {
 		t.Fatalf("%d rows, want %d", len(rows), len(cfgs))

@@ -57,6 +57,55 @@ func FuzzOracleEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzPolicyOracleEquivalence fuzzes the new mechanism axis: every input
+// picks a random program, a version cell, and a combination of
+// replacement policy, way memoization, energy accounting and hardware
+// mechanism, then lockstep-checks the optimized machine against the
+// reference. The table sizes are drawn from the input too, so history
+// aliasing and memo displacement both get fuzzed.
+func FuzzPolicyOracleEquivalence(f *testing.F) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for pick := 0; pick < 256; pick += 37 {
+			f.Add(seed, uint8(pick))
+		}
+	}
+	f.Add(uint64(0xC0FFEE), uint8(0xFF)) // everything on, victim mechanism
+	f.Fuzz(func(t *testing.T, seed uint64, pick uint8) {
+		build := func() *loopir.Program { return irgen.Program(seed, irgen.Default()) }
+		version := core.Versions()[int(pick)%core.NumVersions]
+		o := core.DefaultOptions()
+		if pick&0x08 != 0 {
+			o.Policy = sim.PolicyEHC
+		}
+		if pick&0x10 != 0 {
+			o.WayMemo = true
+		}
+		if pick&0x18 == 0 {
+			// Keep every input on the new axis: plain cells are already
+			// fuzzed by FuzzOracleEquivalence.
+			o.Policy = sim.PolicyEHC
+			o.WayMemo = true
+		}
+		o.Energy = pick&0x20 != 0
+		if pick&0x80 != 0 {
+			o.Mechanism = sim.HWVictim
+		}
+		so := core.SimOptions(version, o)
+		if pick&0x40 != 0 {
+			so.EHCHistoryEntries = 16
+			so.L1MemoEntries = 16
+			so.L2MemoEntries = 32
+		}
+		prog, _, _ := core.Prepare(build, version, o)
+		s := NewShadow(o.Machine, so)
+		s.CheckEvery = 512
+		loopir.Run(prog, s)
+		if _, err := s.Finish(); err != nil {
+			t.Fatalf("seed %d %s pick %#x: %v", seed, version, pick, err)
+		}
+	})
+}
+
 // FuzzSynthOracleEquivalence fuzzes the same two equivalence layers over
 // the parametric corpus families (internal/workloads/synth) instead of
 // raw irgen defaults: each input picks a family from the 81-tuple class

@@ -34,6 +34,18 @@ func CheckStats(st sim.RunStats) error {
 	if err := checkVictimStats("L2 victim", st.Victim2); err != nil {
 		return err
 	}
+	if st.WayMemo1.Hits > st.WayMemo1.Probes {
+		return fmt.Errorf("L1 way-memo hits %d exceed probes %d", st.WayMemo1.Hits, st.WayMemo1.Probes)
+	}
+	if st.WayMemo2.Hits > st.WayMemo2.Probes {
+		return fmt.Errorf("L2 way-memo hits %d exceed probes %d", st.WayMemo2.Hits, st.WayMemo2.Probes)
+	}
+	if st.WayMemo1.Hits > st.L1.Hits {
+		return fmt.Errorf("L1 way-memo hits %d exceed cache hits %d", st.WayMemo1.Hits, st.L1.Hits)
+	}
+	if st.WayMemo2.Hits > st.L2.Hits {
+		return fmt.Errorf("L2 way-memo hits %d exceed cache hits %d", st.WayMemo2.Hits, st.L2.Hits)
+	}
 	if st.Buffer.Hits > st.Buffer.Probes {
 		return fmt.Errorf("buffer hits %d exceed probes %d", st.Buffer.Hits, st.Buffer.Probes)
 	}
@@ -73,6 +85,21 @@ func checkCacheStats(name string, st cache.Stats) error {
 func checkVictimStats(name string, st cache.VictimStats) error {
 	if st.Hits > st.Probes {
 		return fmt.Errorf("%s hits %d exceed probes %d", name, st.Hits, st.Probes)
+	}
+	return nil
+}
+
+// CheckWayMemoConservation validates the way-memo accounting identity:
+// every install either displaced a live entry, was later invalidated, or
+// is still live — so Installs must equal Displaced + Invalidates + live.
+// Hits can never exceed probes.
+func CheckWayMemoConservation(st cache.WayMemoStats, live uint64) error {
+	if st.Hits > st.Probes {
+		return fmt.Errorf("way memo hits %d exceed probes %d", st.Hits, st.Probes)
+	}
+	if st.Installs != st.Displaced+st.Invalidates+live {
+		return fmt.Errorf("way memo conservation violated: installs %d != displaced %d + invalidates %d + live %d",
+			st.Installs, st.Displaced, st.Invalidates, live)
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"selcache/internal/cache"
+	"selcache/internal/energy"
 	"selcache/internal/mem"
 	"selcache/internal/sim"
 )
@@ -99,6 +100,14 @@ func NewMachine(cfg sim.Config, opt sim.Options) *Machine {
 	case sim.HWVictim:
 		m.vc1 = newRefVictim(opt.L1VictimEntries, cfg.L1.Block)
 		m.vc2 = newRefVictim(opt.L2VictimEntries, cfg.L2.Block)
+	}
+	if opt.Policy == sim.PolicyEHC {
+		m.l1.ehc = newRefEHC(opt.EHCHistoryEntries)
+		m.l2.ehc = newRefEHC(opt.EHCHistoryEntries)
+	}
+	if opt.WayMemo {
+		m.l1.memo = newRefWayMemo(opt.L1MemoEntries)
+		m.l2.memo = newRefWayMemo(opt.L2MemoEntries)
 	}
 	return m
 }
@@ -382,6 +391,16 @@ func (m *Machine) Finish() sim.RunStats {
 		st.MAT.SpatialYes = m.sldt.stats.SpatialYes
 		st.MAT.SpatialNo = m.sldt.stats.SpatialNo
 		st.Buffer = m.buf.stats
+	}
+	if m.opt.WayMemo {
+		st.WayMemo1 = m.l1.memo.stats
+		st.WayMemo2 = m.l2.memo.stats
+	}
+	if m.opt.Energy {
+		// The model is the same pure function of the final counters the
+		// engine applies; running it over the reference's independently
+		// accumulated counters checks the whole counter pipeline.
+		st.Energy = energy.Compute(energy.Default(), sim.EnergyInputs(m.cfg, st))
 	}
 	return st
 }

@@ -1,0 +1,175 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"selcache/internal/cache"
+	"selcache/internal/energy"
+	"selcache/internal/sim"
+)
+
+// policyOpts enumerates the option sets of the new mechanism axis worth
+// shadowing: EHC replacement, way memoization, both together, the energy
+// model on top, small table sizes (more displacement/aliasing traffic),
+// and the cross products with the existing hardware mechanisms (victim
+// swaps drive Invalidate, bypasses skip fills).
+func policyOpts() map[string]sim.Options {
+	return map[string]sim.Options{
+		"ehc":                {Policy: sim.PolicyEHC},
+		"waymemo":            {WayMemo: true},
+		"ehc-waymemo":        {Policy: sim.PolicyEHC, WayMemo: true},
+		"ehc-waymemo-energy": {Policy: sim.PolicyEHC, WayMemo: true, Energy: true},
+		"ehc-small-history":  {Policy: sim.PolicyEHC, EHCHistoryEntries: 16},
+		"waymemo-small":      {WayMemo: true, L1MemoEntries: 32, L2MemoEntries: 64, Energy: true},
+		"waymemo-bypass": {
+			Mechanism: sim.HWBypass, InitiallyOn: true, WayMemo: true, Energy: true,
+		},
+		"ehc-victim": {
+			Mechanism: sim.HWVictim, InitiallyOn: true, Policy: sim.PolicyEHC, WayMemo: true,
+		},
+		"ehc-selective-classified": {
+			Mechanism: sim.HWBypass, HonorMarkers: true, Classify: true,
+			Policy: sim.PolicyEHC, WayMemo: true, Energy: true,
+		},
+	}
+}
+
+// TestShadowCleanOnPolicyOptions runs the synthetic churn streams through
+// the lockstep check for every cell of the new policy/memo/energy axis.
+func TestShadowCleanOnPolicyOptions(t *testing.T) {
+	events := 60000
+	if testing.Short() {
+		events = 15000
+	}
+	for name, opt := range policyOpts() {
+		opt := opt
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s := NewShadow(sim.Base(), opt)
+			s.CheckEvery = 512
+			synthetic(s, 42, events, opt.HonorMarkers)
+			if _, err := s.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWayMemoConservationOnSyntheticStream checks the memo accounting
+// identity on the engine's final state, and that the reported energy
+// breakdown is exactly the pure function of the final counters.
+func TestWayMemoConservationOnSyntheticStream(t *testing.T) {
+	cfg := sim.Base()
+	m := sim.NewMachine(cfg, sim.Options{WayMemo: true, Energy: true})
+	synthetic(m, 9, 40000, false)
+	st := m.Finish()
+	c := m.Components()
+	if err := CheckWayMemoConservation(st.WayMemo1, uint64(len(c.L1.SnapshotWayMemo()))); err != nil {
+		t.Fatalf("L1: %v", err)
+	}
+	if err := CheckWayMemoConservation(st.WayMemo2, uint64(len(c.L2.SnapshotWayMemo()))); err != nil {
+		t.Fatalf("L2: %v", err)
+	}
+	if err := c.L1.CheckWayMemo(); err != nil {
+		t.Fatalf("L1 soundness: %v", err)
+	}
+	if err := c.L2.CheckWayMemo(); err != nil {
+		t.Fatalf("L2 soundness: %v", err)
+	}
+	if st.WayMemo1.Probes != st.L1.Accesses {
+		t.Fatalf("L1 memo probes %d != accesses %d", st.WayMemo1.Probes, st.L1.Accesses)
+	}
+	if st.WayMemo1.Hits == 0 {
+		t.Fatal("synthetic stream produced zero L1 memo hits; stream not exercising the memo")
+	}
+	want := energy.Compute(energy.Default(), sim.EnergyInputs(cfg, st))
+	if st.Energy != want {
+		t.Fatalf("energy breakdown not reproducible from counters:\n got %+v\nwant %+v", st.Energy, want)
+	}
+	if st.Energy.L1TagReadsAvoided != st.WayMemo1.Hits*uint64(cfg.L1.Assoc) {
+		t.Fatalf("L1 tag reads avoided %d != memo hits %d × assoc %d",
+			st.Energy.L1TagReadsAvoided, st.WayMemo1.Hits, cfg.L1.Assoc)
+	}
+}
+
+// TestCheckWayMemoConservationRejects exercises the invariant's failure
+// arms directly.
+func TestCheckWayMemoConservationRejects(t *testing.T) {
+	ok := cache.WayMemoStats{Probes: 10, Hits: 4, Installs: 6, Displaced: 1, Invalidates: 2}
+	if err := CheckWayMemoConservation(ok, 3); err != nil {
+		t.Fatalf("consistent stats rejected: %v", err)
+	}
+	bad := ok
+	bad.Hits = 11
+	if err := CheckWayMemoConservation(bad, 3); err == nil || !strings.Contains(err.Error(), "exceed probes") {
+		t.Fatalf("hits>probes not rejected: %v", err)
+	}
+	if err := CheckWayMemoConservation(ok, 4); err == nil || !strings.Contains(err.Error(), "conservation") {
+		t.Fatalf("broken conservation not rejected: %v", err)
+	}
+}
+
+// TestShadowDetectsMemoStateFault corrupts the reference memo behind the
+// shadow's back and checks the next deep comparison reports it.
+func TestShadowDetectsMemoStateFault(t *testing.T) {
+	s := NewShadow(sim.Base(), sim.Options{WayMemo: true})
+	s.CheckEvery = 64
+	synthetic(s, 5, 2000, false)
+	if s.Divergence() != nil {
+		t.Fatalf("clean stream diverged early: %v", s.Divergence())
+	}
+	// Flip a live slot's tag: stats still agree, content does not.
+	r := s.Reference()
+	for i := range r.l1.memo.slots {
+		if r.l1.memo.slots[i].valid {
+			r.l1.memo.slots[i].tag ^= 1
+			break
+		}
+	}
+	synthetic(s, 6, 256, false)
+	div := s.Divergence()
+	if div == nil {
+		t.Fatal("corrupted reference memo not detected")
+	}
+	if !strings.Contains(div.Field, "way-memo") {
+		t.Fatalf("divergence blamed %q, want a way-memo field", div.Field)
+	}
+}
+
+// TestEHCDivergesFromLRU is the sanity check that the new policy axis is
+// live: on a churning stream the EHC machine must make at least one
+// different replacement decision than the LRU machine (identical stats
+// would mean the knob is dead). The history table is sized to the
+// stream's 64 K-block footprint: at the default 256 entries the
+// direct-mapped history aliases so heavily that predictions rarely
+// survive to a victim decision and EHC legitimately degenerates to its
+// LRU tie-break.
+func TestEHCDivergesFromLRU(t *testing.T) {
+	lru := sim.NewMachine(sim.Base(), sim.Options{})
+	ehc := sim.NewMachine(sim.Base(), sim.Options{Policy: sim.PolicyEHC, EHCHistoryEntries: 1 << 12})
+	synthetic(lru, 11, 50000, false)
+	synthetic(ehc, 11, 50000, false)
+	a, b := lru.Finish(), ehc.Finish()
+	if a.L1.Misses == b.L1.Misses && a.L2.Misses == b.L2.Misses {
+		t.Fatalf("EHC reproduced LRU miss counts exactly (L1 %d, L2 %d); policy axis appears dead",
+			a.L1.Misses, a.L2.Misses)
+	}
+}
+
+// TestWayMemoIsTimingNeutral checks the memo's defining property end to
+// end: enabling it must leave every architectural statistic — cycles,
+// hits, misses, evictions — bit-identical, with only the memo counters
+// and energy differing.
+func TestWayMemoIsTimingNeutral(t *testing.T) {
+	plain := sim.NewMachine(sim.Base(), sim.Options{})
+	memo := sim.NewMachine(sim.Base(), sim.Options{WayMemo: true})
+	synthetic(plain, 13, 50000, false)
+	synthetic(memo, 13, 50000, false)
+	a, b := plain.Finish(), memo.Finish()
+	b.WayMemo1, b.WayMemo2 = cache.WayMemoStats{}, cache.WayMemoStats{}
+	a.WallNanos, b.WallNanos = 0, 0
+	if a != b {
+		t.Fatalf("way memo perturbed architectural state:\n off %+v\n on  %+v", a, b)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"selcache/internal/cache"
+	"selcache/internal/cache/policy"
 	"selcache/internal/mat"
 	"selcache/internal/mem"
 	"selcache/internal/tlb"
@@ -18,10 +19,12 @@ import (
 // not belong here.
 
 // refLine is one resident block (or page, or double word) of a reference
-// store, keyed by its block number.
+// store, keyed by its block number. hits counts the current generation's
+// hits and is only maintained by refCaches running the EHC policy.
 type refLine struct {
 	block uint64
 	dirty bool
+	hits  uint64
 }
 
 // moveToFront makes entries[i] the MRU element.
@@ -31,11 +34,19 @@ func moveToFront(entries []refLine, i int) {
 	entries[0] = e
 }
 
-// refCache is the reference set-associative write-back LRU cache
-// (mirror of cache.Cache).
+// refCache is the reference set-associative write-back cache (mirror of
+// cache.Cache). Replacement is LRU — the set's last element — unless an
+// EHC predictor is attached (ehc non-nil), in which case the victim is
+// the minimum-expected-hits line, ties to the least recently used. A
+// reference way memo (memo non-nil) is consulted before the tag scan and
+// maintained at every install and invalidation, mirroring
+// cache.LookupBlockExt's event order exactly.
 type refCache struct {
 	cfg  cache.Config
 	sets [][]refLine // each ordered MRU first
+
+	ehc  *refEHC
+	memo *refWayMemo
 
 	stats cache.Stats
 	// dirtyMade counts transitions into the dirty state (a write hit on a
@@ -60,6 +71,14 @@ func (c *refCache) lookup(a mem.Addr, write bool) bool {
 	c.stats.Accesses++
 	block := c.blockOf(a)
 	set := c.sets[c.setOf(block)]
+	memoHit := false
+	if c.memo != nil {
+		c.memo.stats.Probes++
+		memoHit = c.memo.hit(block)
+		if memoHit {
+			c.memo.stats.Hits++
+		}
+	}
 	for i := range set {
 		if set[i].block != block {
 			continue
@@ -68,9 +87,18 @@ func (c *refCache) lookup(a mem.Addr, write bool) bool {
 			set[i].dirty = true
 			c.dirtyMade++
 		}
+		if c.ehc != nil {
+			set[i].hits++
+		}
 		moveToFront(set, i)
 		c.stats.Hits++
+		if c.memo != nil && !memoHit {
+			c.memo.install(block)
+		}
 		return true
+	}
+	if memoHit {
+		panic("oracle: way-memo hit for a block not resident in the reference cache")
 	}
 	c.stats.Misses++
 	return false
@@ -87,15 +115,35 @@ func (c *refCache) contains(a mem.Addr) bool {
 	return false
 }
 
-// victimBlock predicts what a fill for a would displace: the LRU line of
-// the set, and only if the set is full (a fill lands in an empty way
+// victimIndex picks the line a fill into a full set displaces: the LRU
+// line (the last element) for LRU replacement, or the minimum-expected-
+// hits line under EHC. The scan walks LRU-to-MRU with a strict minimum,
+// so expectation ties go to the least recently used line — the same
+// lexicographic (expected, recency) minimum policy.EHC computes with
+// stamps.
+func (c *refCache) victimIndex(set []refLine) int {
+	if c.ehc == nil {
+		return len(set) - 1
+	}
+	vi := -1
+	var ve uint64
+	for i := len(set) - 1; i >= 0; i-- {
+		if e := c.ehc.expected(set[i]); vi < 0 || e < ve {
+			vi, ve = i, e
+		}
+	}
+	return vi
+}
+
+// victimBlock predicts what a fill for a would displace: the victim line
+// of the set, and only if the set is full (a fill lands in an empty way
 // otherwise).
 func (c *refCache) victimBlock(a mem.Addr) (mem.Addr, bool) {
 	set := c.sets[c.setOf(c.blockOf(a))]
 	if len(set) < c.cfg.Assoc {
 		return 0, false
 	}
-	return mem.Addr(set[len(set)-1].block * uint64(c.cfg.Block)), true
+	return mem.Addr(set[c.victimIndex(set)].block * uint64(c.cfg.Block)), true
 }
 
 // fill installs the block containing a, evicting the set's LRU line when
@@ -112,27 +160,41 @@ func (c *refCache) fill(a mem.Addr, dirty bool) cache.Evicted {
 			set[i].dirty = true
 			c.dirtyMade++
 		}
+		if c.ehc != nil {
+			set[i].hits++
+		}
 		moveToFront(set, i)
 		return cache.Evicted{}
 	}
 	ev := cache.Evicted{}
 	if len(set) == c.cfg.Assoc {
-		last := set[len(set)-1]
+		vi := c.victimIndex(set)
+		victim := set[vi]
 		ev = cache.Evicted{
-			BlockAddr: mem.Addr(last.block * uint64(c.cfg.Block)),
-			Dirty:     last.dirty,
+			BlockAddr: mem.Addr(victim.block * uint64(c.cfg.Block)),
+			Dirty:     victim.dirty,
 			Valid:     true,
 		}
 		c.stats.Evictions++
-		if last.dirty {
+		if victim.dirty {
 			c.stats.DirtyEvictions++
 		}
-		set = set[:len(set)-1]
+		if c.ehc != nil {
+			c.ehc.endGeneration(victim.block, victim.hits)
+		}
+		if c.memo != nil {
+			c.memo.invalidate(victim.block)
+		}
+		set = append(set[:vi], set[vi+1:]...)
 	}
 	if dirty {
 		c.dirtyMade++
 	}
+	c.stats.Fills++
 	c.sets[s] = append([]refLine{{block: block, dirty: dirty}}, set...)
+	if c.memo != nil {
+		c.memo.install(block)
+	}
 	return ev
 }
 
@@ -149,6 +211,12 @@ func (c *refCache) remove(a mem.Addr) (dirty, ok bool) {
 		dirty = set[i].dirty
 		if dirty {
 			c.removedDirty++
+		}
+		if c.ehc != nil {
+			c.ehc.endGeneration(set[i].block, set[i].hits)
+		}
+		if c.memo != nil {
+			c.memo.invalidate(block)
 		}
 		c.sets[s] = append(set[:i], set[i+1:]...)
 		return dirty, true
@@ -167,6 +235,20 @@ func (c *refCache) snapshot() [][]cache.LineSnapshot {
 				BlockAddr: mem.Addr(ln.block * uint64(c.cfg.Block)),
 				Dirty:     ln.dirty,
 			}
+		}
+		out[s] = snap
+	}
+	return out
+}
+
+// snapshotEHC renders the per-line generation hit counts in
+// policy.EHC.SnapshotSets form (valid lines MRU first).
+func (c *refCache) snapshotEHC() [][]policy.EHCLineSnapshot {
+	out := make([][]policy.EHCLineSnapshot, len(c.sets))
+	for s, set := range c.sets {
+		snap := make([]policy.EHCLineSnapshot, len(set))
+		for i, ln := range set {
+			snap[i] = policy.EHCLineSnapshot{Block: ln.block, Hits: ln.hits}
 		}
 		out[s] = snap
 	}

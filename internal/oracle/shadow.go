@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"selcache/internal/cache/policy"
 	"selcache/internal/mem"
 	"selcache/internal/sim"
 	"selcache/internal/trace"
@@ -248,6 +249,17 @@ func (s *Shadow) compareScalars(ev trace.Event) {
 	case c.Cls2 != nil && c.Cls2.Stats != r.cls2.stats:
 		s.mismatch(ev, "L2 classify stats", c.Cls2.Stats, r.cls2.stats)
 	}
+	if s.div != nil || r.l1.memo == nil {
+		return
+	}
+	m1, _ := c.L1.WayMemoCounters()
+	m2, _ := c.L2.WayMemoCounters()
+	switch {
+	case m1 != r.l1.memo.stats:
+		s.mismatch(ev, "L1 way-memo stats", m1, r.l1.memo.stats)
+	case m2 != r.l2.memo.stats:
+		s.mismatch(ev, "L2 way-memo stats", m2, r.l2.memo.stats)
+	}
 }
 
 // compareDeep is the full structural check: complete recency-ordered
@@ -272,6 +284,26 @@ func (s *Shadow) compareDeep(ev trace.Event) {
 	if c.VC1 != nil {
 		s.check(ev, "L1 victim content", c.VC1.Snapshot(), r.vc1.fa.snapshot())
 		s.check(ev, "L2 victim content", c.VC2.Snapshot(), r.vc2.fa.snapshot())
+	}
+	if r.l1.memo != nil {
+		s.check(ev, "L1 way-memo content", c.L1.SnapshotWayMemo(), r.l1.memo.snapshot())
+		s.check(ev, "L2 way-memo content", c.L2.SnapshotWayMemo(), r.l2.memo.snapshot())
+		// The reference memo has no way numbers, so the engine's recorded
+		// ways are validated by its own soundness check: every live memo
+		// entry must point at the resident way of its block.
+		if err := c.L1.CheckWayMemo(); err != nil {
+			s.record(ev, "L1 way-memo soundness", err.Error(), "(reference state matches)")
+		}
+		if err := c.L2.CheckWayMemo(); err != nil {
+			s.record(ev, "L2 way-memo soundness", err.Error(), "(reference state matches)")
+		}
+	}
+	if p1, ok := c.L1.Policy().(*policy.EHC); ok {
+		s.check(ev, "L1 EHC lines", p1.SnapshotSets(), r.l1.snapshotEHC())
+		s.check(ev, "L1 EHC history", p1.SnapshotHistory(), r.l1.ehc.snapshot())
+		p2 := c.L2.Policy().(*policy.EHC)
+		s.check(ev, "L2 EHC lines", p2.SnapshotSets(), r.l2.snapshotEHC())
+		s.check(ev, "L2 EHC history", p2.SnapshotHistory(), r.l2.ehc.snapshot())
 	}
 	if s.div != nil {
 		return
@@ -303,6 +335,14 @@ func (s *Shadow) selfCheck() error {
 	if r.buf != nil {
 		if err := r.buf.fa.conservation(); err != nil {
 			return fmt.Errorf("bypass buffer: %w", err)
+		}
+	}
+	if r.l1.memo != nil {
+		if err := r.l1.memo.conservation(); err != nil {
+			return fmt.Errorf("L1 way memo: %w", err)
+		}
+		if err := r.l2.memo.conservation(); err != nil {
+			return fmt.Errorf("L2 way memo: %w", err)
 		}
 	}
 	if r.mat != nil {

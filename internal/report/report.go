@@ -63,6 +63,34 @@ func WriteTable3(w io.Writer, rows []experiments.Table3Row) {
 	fmt.Fprintln(w)
 }
 
+// WriteEnergy renders one sweep's per-benchmark energy breakdown: the
+// model's total picojoules per version plus the tag reads the way memo
+// avoided (the headline way-memoization statistic; zero when the memo is
+// off). Callers gate on the energy model being enabled — with it off
+// every cell is zero and the table is noise.
+func WriteEnergy(w io.Writer, sw experiments.Sweep) {
+	fmt.Fprintf(w, "Energy (pJ)  [machine=%s, mechanism=%s]\n", sw.Config.Name, sw.Mechanism)
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %14s %14s %12s\n",
+		"benchmark", "base", "pure-hw", "pure-sw", "combined", "selective", "tags-avoided")
+	line := strings.Repeat("-", 98)
+	fmt.Fprintln(w, line)
+	for _, row := range sw.Rows {
+		var avoided uint64
+		for v := range row.Stats {
+			avoided += row.Stats[v].Energy.L1TagReadsAvoided + row.Stats[v].Energy.L2TagReadsAvoided
+		}
+		fmt.Fprintf(w, "%-10s %14d %14d %14d %14d %14d %12d\n",
+			row.Benchmark,
+			row.Stats[core.Base].Energy.TotalPJ,
+			row.Stats[core.PureHardware].Energy.TotalPJ,
+			row.Stats[core.PureSoftware].Energy.TotalPJ,
+			row.Stats[core.Combined].Energy.TotalPJ,
+			row.Stats[core.Selective].Energy.TotalPJ,
+			avoided)
+	}
+	fmt.Fprintln(w)
+}
+
 // WriteClassAverages renders the per-class averages quoted throughout the
 // paper's Section 5.1 prose.
 func WriteClassAverages(w io.Writer, sw experiments.Sweep) {

@@ -30,6 +30,13 @@ type RunRequest struct {
 	// UpdateWhenOff keeps MAT/SLDT learning while the mechanism is off
 	// (the ablation knob).
 	UpdateWhenOff bool `json:"update_when_off,omitempty"`
+	// Policy is the cache replacement policy, "lru" or "ehc"
+	// (default "lru").
+	Policy string `json:"policy,omitempty"`
+	// WayMemo enables way memoization on both cache levels.
+	WayMemo bool `json:"waymemo,omitempty"`
+	// Energy enables the per-run energy model.
+	Energy bool `json:"energy,omitempty"`
 	// Version optionally restricts the response to one version. It does
 	// not enter the cache key: the simulation always produces the full
 	// row, and the filter applies at render time.
@@ -46,6 +53,9 @@ type SweepRequest struct {
 	Mechanisms    []string `json:"mechanisms,omitempty"`
 	Classify      bool     `json:"classify,omitempty"`
 	UpdateWhenOff bool     `json:"update_when_off,omitempty"`
+	Policy        string   `json:"policy,omitempty"`
+	WayMemo       bool     `json:"waymemo,omitempty"`
+	Energy        bool     `json:"energy,omitempty"`
 	TimeoutMillis int64    `json:"timeout_ms,omitempty"`
 	// EstimateTop, when positive and the server runs with -estimate-plan,
 	// prunes each (config, mechanism) sweep to its N most interesting
@@ -69,6 +79,9 @@ type Spec struct {
 	Mechanism     string `json:"mechanism"`
 	Classify      bool   `json:"classify"`
 	UpdateWhenOff bool   `json:"update_when_off"`
+	Policy        string `json:"policy"`
+	WayMemo       bool   `json:"waymemo"`
+	Energy        bool   `json:"energy"`
 }
 
 // ResolveSpec validates a RunRequest's identity fields against the known
@@ -81,12 +94,18 @@ func ResolveSpec(req RunRequest) (Spec, core.Options, error) {
 		Mechanism:     req.Mechanism,
 		Classify:      req.Classify,
 		UpdateWhenOff: req.UpdateWhenOff,
+		Policy:        req.Policy,
+		WayMemo:       req.WayMemo,
+		Energy:        req.Energy,
 	}
 	if spec.Config == "" {
 		spec.Config = "base"
 	}
 	if spec.Mechanism == "" {
 		spec.Mechanism = "bypass"
+	}
+	if spec.Policy == "" {
+		spec.Policy = "lru"
 	}
 	if _, ok := workloads.Resolve(spec.Workload); !ok {
 		return Spec{}, core.Options{}, fmt.Errorf("unknown workload %q", spec.Workload)
@@ -107,6 +126,16 @@ func ResolveSpec(req RunRequest) (Spec, core.Options, error) {
 	default:
 		return Spec{}, core.Options{}, fmt.Errorf("unknown mechanism %q", spec.Mechanism)
 	}
+	switch spec.Policy {
+	case "lru":
+		o.Policy = sim.PolicyLRU
+	case "ehc":
+		o.Policy = sim.PolicyEHC
+	default:
+		return Spec{}, core.Options{}, fmt.Errorf("unknown policy %q", spec.Policy)
+	}
+	o.WayMemo = spec.WayMemo
+	o.Energy = spec.Energy
 	return spec, o, nil
 }
 

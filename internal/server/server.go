@@ -525,6 +525,9 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, req SweepReq
 					Mechanism:     mech,
 					Classify:      req.Classify,
 					UpdateWhenOff: req.UpdateWhenOff,
+					Policy:        req.Policy,
+					WayMemo:       req.WayMemo,
+					Energy:        req.Energy,
 				})
 				if err != nil {
 					s.fail(w, http.StatusBadRequest, err)

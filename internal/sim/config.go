@@ -166,6 +166,29 @@ func (k HWKind) String() string {
 	}
 }
 
+// PolicyKind selects the cache replacement policy.
+type PolicyKind int
+
+const (
+	// PolicyLRU is true-LRU replacement — the default, served by the
+	// caches' native stamp path (no policy object attached).
+	PolicyLRU PolicyKind = iota
+	// PolicyEHC is Expected-Hit-Count replacement (arXiv 1808.05024).
+	PolicyEHC
+)
+
+// String returns the policy name.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyLRU:
+		return "lru"
+	case PolicyEHC:
+		return "ehc"
+	default:
+		return "unknown"
+	}
+}
+
 // Options configure one simulation run.
 type Options struct {
 	// Mechanism selects the hardware scheme.
@@ -185,6 +208,26 @@ type Options struct {
 	// Classify enables conflict/capacity/compulsory miss attribution
 	// (costs simulation time and memory; off for timing-focused sweeps).
 	Classify bool
+
+	// Policy selects the replacement policy for both cache levels.
+	// PolicyLRU (the zero value) runs the native stamp path untouched.
+	Policy PolicyKind
+	// WayMemo enables the way-memoization tables on both cache levels.
+	// Timing and hit/miss statistics are unaffected (a memo hit is a
+	// cache hit the tag path would also have found); only the memo
+	// counters and the energy model observe it.
+	WayMemo bool
+	// Energy enables the per-run energy model (internal/energy); the
+	// breakdown lands in RunStats.Energy. Off, the field stays zero.
+	Energy bool
+
+	// EHCHistoryEntries sizes the EHC hit-count history table (power of
+	// two); zero means 256.
+	EHCHistoryEntries int
+	// L1MemoEntries and L2MemoEntries size the way-memo tables (powers
+	// of two); zero means 256 and 1024.
+	L1MemoEntries int
+	L2MemoEntries int
 
 	// MAT parameterizes the bypass mechanism; zero value means
 	// mat.DefaultConfig.
@@ -210,6 +253,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.L2VictimEntries == 0 {
 		o.L2VictimEntries = 512
+	}
+	if o.EHCHistoryEntries == 0 {
+		o.EHCHistoryEntries = 256
+	}
+	if o.L1MemoEntries == 0 {
+		o.L1MemoEntries = 256
+	}
+	if o.L2MemoEntries == 0 {
+		o.L2MemoEntries = 1024
 	}
 	return o
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 
 	"selcache/internal/cache"
+	"selcache/internal/cache/policy"
+	"selcache/internal/energy"
 	"selcache/internal/mat"
 	"selcache/internal/mem"
 	"selcache/internal/tlb"
@@ -41,6 +43,13 @@ type RunStats struct {
 	SpatialPrefetches uint64
 	// OnCycles approximates cycles spent with the mechanism active.
 	OnCycles uint64
+
+	// WayMemo1 and WayMemo2 count way-memoization activity per level
+	// (zero unless Options.WayMemo).
+	WayMemo1, WayMemo2 cache.WayMemoStats
+	// Energy is the per-run energy breakdown (zero unless
+	// Options.Energy).
+	Energy energy.Stats
 
 	// WallNanos is the host wall-clock time the run took, filled in by the
 	// driver (core.Run). It is the one nondeterministic field of RunStats:
@@ -81,6 +90,12 @@ type Machine struct {
 	buf  *mat.Buffer
 	vc1  *cache.Victim
 	vc2  *cache.Victim
+
+	// ext caches l1.Extended() (a policy or way memo is attached; both
+	// levels always agree): probe sites branch on it to pick the
+	// LookupBlockExt path without per-probe nil checks, leaving the
+	// default LookupFast/LookupSlow pair — and its inlining — untouched.
+	ext bool
 
 	hwOn bool
 
@@ -140,6 +155,15 @@ func NewMachine(cfg Config, opt Options) *Machine {
 		m.vc1 = cache.NewVictim(opt.L1VictimEntries, cfg.L1.Block)
 		m.vc2 = cache.NewVictim(opt.L2VictimEntries, cfg.L2.Block)
 	}
+	if opt.Policy == PolicyEHC {
+		m.l1.SetPolicy(policy.NewEHC(cfg.L1.Sets(), cfg.L1.Assoc, opt.EHCHistoryEntries))
+		m.l2.SetPolicy(policy.NewEHC(cfg.L2.Sets(), cfg.L2.Assoc, opt.EHCHistoryEntries))
+	}
+	if opt.WayMemo {
+		m.l1.EnableWayMemo(opt.L1MemoEntries)
+		m.l2.EnableWayMemo(opt.L2MemoEntries)
+	}
+	m.ext = m.l1.Extended()
 	m.l1Shift = m.l1.BlockShift()
 	m.pageShift = m.dtlb.PageShift()
 	return m
@@ -252,7 +276,12 @@ func (m *Machine) access1(addr mem.Addr, write bool, block, page uint64) {
 		m.sldt.Observe(addr)
 	}
 
-	hit := m.l1.LookupFast(block, write) || m.l1.LookupSlow(block, write)
+	var hit bool
+	if m.ext {
+		hit = m.l1.LookupBlockExt(block, write)
+	} else {
+		hit = m.l1.LookupFast(block, write) || m.l1.LookupSlow(block, write)
+	}
 	if m.cls1 != nil {
 		m.cls1.Observe(addr, !hit)
 	}
@@ -325,7 +354,12 @@ func (m *Machine) fetch(addr mem.Addr, dword bool, hw bool) float64 {
 		fill = 1
 	}
 	b2 := uint64(addr) >> m.l2.BlockShift()
-	l2hit := m.l2.LookupFast(b2, false) || m.l2.LookupSlow(b2, false)
+	var l2hit bool
+	if m.ext {
+		l2hit = m.l2.LookupBlockExt(b2, false)
+	} else {
+		l2hit = m.l2.LookupFast(b2, false) || m.l2.LookupSlow(b2, false)
+	}
 	if m.cls2 != nil {
 		m.cls2.Observe(addr, !l2hit)
 	}
@@ -468,5 +502,46 @@ func (m *Machine) Finish() RunStats {
 		st.MAT.SpatialNo = m.sldt.Stats.SpatialNo
 		st.Buffer = m.buf.Stats
 	}
+	if m.opt.WayMemo {
+		st.WayMemo1, _ = m.l1.WayMemoCounters()
+		st.WayMemo2, _ = m.l2.WayMemoCounters()
+	}
+	if m.opt.Energy {
+		st.Energy = energy.Compute(energy.Default(), EnergyInputs(m.cfg, st))
+	}
 	return st
+}
+
+// EnergyInputs derives the energy model's inputs from a run's final
+// counters. It is a pure function of (config, stats): the oracle's
+// reference machine calls it on its own independently accumulated stats,
+// so the energy comparison checks the whole counter pipeline rather than
+// the arithmetic alone.
+//
+// DRAM reads are L2 misses not served by the L2 victim cache (the victim
+// cache is only probed on L2 misses, so the subtraction cannot go
+// negative); DRAM writes are dirty L2 evictions. Write-backs absorbed by
+// victim caches are charged as victim operations, not DRAM.
+func EnergyInputs(cfg Config, st RunStats) energy.Inputs {
+	return energy.Inputs{
+		L1: energy.LevelInputs{
+			Assoc:      uint64(cfg.L1.Assoc),
+			Accesses:   st.L1.Accesses,
+			MemoProbes: st.WayMemo1.Probes,
+			MemoHits:   st.WayMemo1.Hits,
+			Fills:      st.L1.Fills,
+		},
+		L2: energy.LevelInputs{
+			Assoc:      uint64(cfg.L2.Assoc),
+			Accesses:   st.L2.Accesses,
+			MemoProbes: st.WayMemo2.Probes,
+			MemoHits:   st.WayMemo2.Hits,
+			Fills:      st.L2.Fills,
+		},
+		TLBProbes:  st.TLB.Accesses,
+		VictimOps:  st.Victim1.Probes + st.Victim1.Inserts + st.Victim2.Probes + st.Victim2.Inserts,
+		BufferOps:  st.Buffer.Probes + st.Buffer.Fills,
+		DRAMReads:  st.L2.Misses - st.Victim2.Hits,
+		DRAMWrites: st.L2.DirtyEvictions,
+	}
 }
